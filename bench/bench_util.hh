@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Shared helpers for the table/figure benchmark harnesses: the standard
+ * prefetcher lineup, geometric/arithmetic means, and the paper-vs-
+ * measured footer each bench prints.
+ */
+
+#ifndef HP_BENCH_BENCH_UTIL_HH
+#define HP_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/runner.hh"
+#include "stats/table.hh"
+#include "workload/app_profile.hh"
+
+namespace hpbench
+{
+
+/** The four prefetchers every comparison figure sweeps. */
+inline const std::vector<hp::PrefetcherKind> &
+comparedPrefetchers()
+{
+    static const std::vector<hp::PrefetcherKind> kinds = {
+        hp::PrefetcherKind::EFetch,
+        hp::PrefetcherKind::Mana,
+        hp::PrefetcherKind::Eip,
+        hp::PrefetcherKind::Hierarchical,
+    };
+    return kinds;
+}
+
+/** Arithmetic mean of a vector (0 for empty). */
+inline double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / double(values.size());
+}
+
+/**
+ * Prints the standard footer: what the paper reports for this
+ * experiment and a reminder that shapes, not absolute numbers, are the
+ * reproduction target (the substrate is a from-scratch simulator).
+ */
+inline void
+paperFooter(const std::string &exp, const std::string &paper_result,
+            const std::string &measured_result)
+{
+    std::printf("\n[%s] paper:    %s\n", exp.c_str(),
+                paper_result.c_str());
+    std::printf("[%s] measured: %s\n", exp.c_str(),
+                measured_result.c_str());
+    std::printf("(shape, not absolute numbers, is the reproduction "
+                "target; see EXPERIMENTS.md)\n");
+}
+
+} // namespace hpbench
+
+#endif // HP_BENCH_BENCH_UTIL_HH

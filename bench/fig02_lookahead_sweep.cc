@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Figure 2 — the look-ahead studies of the fine-grained prefetchers:
+ * (a) MANA accuracy/coverage vs look-ahead spatial regions (paper:
+ *     coverage stops improving past ~4 regions, accuracy declines);
+ * (b) EFetch accuracy/coverage vs look-ahead callees (paper: coverage
+ *     saturates past ~7 calls, accuracy declines);
+ * (c) EIP accuracy grouped by observed prefetch distance (paper:
+ *     accuracy declines with distance).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+namespace
+{
+
+using namespace hp;
+
+/** Mean paired metrics of one configured prefetcher over all apps. */
+PairedMetrics
+meanOverApps(PrefetcherKind kind, unsigned lookahead)
+{
+    std::vector<double> acc, cov, dist;
+    for (const std::string &workload : allWorkloads()) {
+        SimConfig config = defaultConfig(workload, kind);
+        config.mana.lookahead = lookahead;
+        config.efetch.lookahead = lookahead;
+        RunPair pair = ExperimentRunner::runPair(config);
+        acc.push_back(pair.paired.accuracy);
+        cov.push_back(pair.paired.coverageL1);
+        dist.push_back(pair.paired.avgDistance);
+    }
+    PairedMetrics out;
+    out.accuracy = hpbench::mean(acc);
+    out.coverageL1 = hpbench::mean(cov);
+    out.avgDistance = hpbench::mean(dist);
+    return out;
+}
+
+void
+sweep(const char *title, PrefetcherKind kind,
+      const std::vector<unsigned> &lookaheads)
+{
+    AsciiTable table(title);
+    table.setHeader({"look-ahead", "accuracy", "coverage(L1)",
+                     "avg distance"});
+    for (unsigned la : lookaheads) {
+        PairedMetrics m = meanOverApps(kind, la);
+        table.addRow({std::to_string(la), fmtPercent(m.accuracy),
+                      fmtPercent(m.coverageL1),
+                      fmtDouble(m.avgDistance, 1)});
+    }
+    std::fputs(table.render().c_str(), stdout);
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    sweep("Figure 2a: MANA look-ahead (spatial regions)",
+          PrefetcherKind::Mana, {1, 2, 3, 4, 6, 8, 16});
+    sweep("Figure 2b: EFetch look-ahead (callees)",
+          PrefetcherKind::EFetch, {1, 2, 3, 5, 7, 10, 16});
+
+    // (c) EIP accuracy by distance bin, averaged over apps.
+    AsciiTable table("Figure 2c: EIP accuracy vs prefetch distance");
+    table.setHeader({"distance (blocks)", "accuracy", "samples"});
+    std::vector<std::uint64_t> useful(HierarchyStats::kDistanceBins, 0);
+    std::vector<std::uint64_t> unused(HierarchyStats::kDistanceBins, 0);
+    for (const std::string &workload : allWorkloads()) {
+        SimConfig config = defaultConfig(workload, PrefetcherKind::Eip);
+        const SimMetrics &m = ExperimentRunner::run(config);
+        for (unsigned b = 0; b < HierarchyStats::kDistanceBins; ++b) {
+            useful[b] += m.mem.extDistUseful[b];
+            unused[b] += m.mem.extDistUnused[b];
+        }
+    }
+    for (unsigned b = 0; b < HierarchyStats::kDistanceBins; ++b) {
+        std::uint64_t total = useful[b] + unused[b];
+        if (total < 50)
+            continue;
+        std::string range = "[" + std::to_string(1u << b) + "," +
+                            std::to_string(1u << (b + 1)) + ")";
+        table.addRow({range,
+                      fmtPercent(double(useful[b]) / double(total)),
+                      std::to_string(total)});
+    }
+    std::fputs(table.render().c_str(), stdout);
+
+    hpbench::paperFooter(
+        "Fig2",
+        "all three prefetchers lose accuracy as look-ahead/distance "
+        "grows; MANA coverage saturates past ~4 regions, EFetch past "
+        "~7 calls",
+        "see tables above: accuracy decline and coverage saturation "
+        "with look-ahead");
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Figure 4 — average similarity (Jaccard index) between the footprints
+ * following adjacent occurrences of the same trigger, as the footprint
+ * size grows from 16 to 512 cache blocks. The paper shows all
+ * fine-grained trigger definitions dropping below 0.5 by 64 blocks,
+ * while Bundles stay above 0.8 (Table 4) — the motivation for
+ * coarse-grained prefetching.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "sim/footprint_probe.hh"
+#include "workload/request_engine.hh"
+
+int
+main()
+{
+    using namespace hp;
+
+    constexpr std::uint64_t kInsts = 2'000'000;
+
+    const TriggerKind kinds[] = {TriggerKind::Signature,
+                                 TriggerKind::BlockAddress,
+                                 TriggerKind::Bundle};
+    const char *names[] = {"signature (EFetch-like)",
+                           "block/region (MANA/EIP-like)",
+                           "Bundle (this work)"};
+
+    // Per trigger kind, per footprint size: mean over workloads.
+    std::vector<std::vector<double>> sums(
+        3, std::vector<double>(kFootprintSizes.size(), 0.0));
+    std::vector<std::vector<unsigned>> counts(
+        3, std::vector<unsigned>(kFootprintSizes.size(), 0));
+
+    for (const std::string &workload : allWorkloads()) {
+        const AppProfile &profile = appProfile(workload);
+        auto app = ProgramBuilder::cached(profile);
+        RequestEngine engine(app, profile);
+
+        FootprintProbe probes[3] = {
+            FootprintProbe(kinds[0]), FootprintProbe(kinds[1]),
+            FootprintProbe(kinds[2], /*sample_period=*/1)};
+
+        DynInst inst;
+        for (std::uint64_t i = 0; i < kInsts && engine.next(inst);
+             ++i) {
+            for (auto &probe : probes)
+                probe.onCommit(inst);
+        }
+
+        for (auto &probe : probes)
+            probe.finalize();
+
+        for (unsigned k = 0; k < 3; ++k) {
+            for (std::size_t s = 0; s < kFootprintSizes.size(); ++s) {
+                double j = probes[k].meanJaccard(s);
+                if (j > 0.0) {
+                    sums[k][s] += j;
+                    ++counts[k][s];
+                }
+            }
+        }
+    }
+
+    AsciiTable table(
+        "Figure 4: footprint similarity after the same trigger");
+    std::vector<std::string> header = {"trigger"};
+    for (unsigned size : kFootprintSizes)
+        header.push_back(std::to_string(size) + " blk");
+    table.setHeader(header);
+
+    for (unsigned k = 0; k < 3; ++k) {
+        std::vector<std::string> row = {names[k]};
+        for (std::size_t s = 0; s < kFootprintSizes.size(); ++s) {
+            double v = counts[k][s]
+                ? sums[k][s] / counts[k][s] : 0.0;
+            row.push_back(fmtDouble(v, 2));
+        }
+        table.addRow(row);
+    }
+    std::fputs(table.render().c_str(), stdout);
+
+    hpbench::paperFooter(
+        "Fig4",
+        "fine-grained triggers fall below 0.5 Jaccard by 64 blocks; "
+        "EFetch-style signatures are the most contextual of the three",
+        "see table: similarity vs footprint size per trigger kind");
+    return 0;
+}

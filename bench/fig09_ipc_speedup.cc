@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Figure 9 — IPC speedup over the FDIP baseline, per workload, for
+ * EFetch, MANA, EIP and Hierarchical Prefetching; plus the Section 7.1
+ * Perfect-L1-I study (paper: perfect = +16.8% avg, HP captures 40% of
+ * it on average, 77% best case).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace hp;
+
+    AsciiTable table("Figure 9: IPC speedup over FDIP");
+    table.setHeader({"workload", "EFetch", "MANA", "EIP",
+                     "Hierarchical", "PerfectL1I", "HP/Perfect"});
+
+    std::vector<double> efetch, mana, eip, hier, perfect, share;
+
+    for (const std::string &workload : allWorkloads()) {
+        std::vector<double> row;
+        for (PrefetcherKind kind : hpbench::comparedPrefetchers()) {
+            SimConfig config = defaultConfig(workload, kind);
+            row.push_back(
+                ExperimentRunner::runPair(config).paired.speedup);
+        }
+        SimConfig pcfg =
+            defaultConfig(workload, PrefetcherKind::PerfectL1I);
+        double perf = ExperimentRunner::runPair(pcfg).paired.speedup;
+
+        efetch.push_back(row[0]);
+        mana.push_back(row[1]);
+        eip.push_back(row[2]);
+        hier.push_back(row[3]);
+        perfect.push_back(perf);
+        double hp_share = perf > 0.0 ? row[3] / perf : 0.0;
+        share.push_back(hp_share);
+
+        table.addRow({workload, fmtPercent(row[0]), fmtPercent(row[1]),
+                      fmtPercent(row[2]), fmtPercent(row[3]),
+                      fmtPercent(perf), fmtPercent(hp_share)});
+    }
+
+    table.addRow({"MEAN", fmtPercent(hpbench::mean(efetch)),
+                  fmtPercent(hpbench::mean(mana)),
+                  fmtPercent(hpbench::mean(eip)),
+                  fmtPercent(hpbench::mean(hier)),
+                  fmtPercent(hpbench::mean(perfect)),
+                  fmtPercent(hpbench::mean(share))});
+    std::fputs(table.render().c_str(), stdout);
+
+    hpbench::paperFooter(
+        "Fig9",
+        "EFetch +1.4%, MANA +1.6%, EIP +4.0%, Hierarchical +6.6% "
+        "(avg); Perfect L1-I +16.8%, HP = 40% of perfect",
+        "EFetch " + fmtPercent(hpbench::mean(efetch)) + ", MANA " +
+            fmtPercent(hpbench::mean(mana)) + ", EIP " +
+            fmtPercent(hpbench::mean(eip)) + ", Hierarchical " +
+            fmtPercent(hpbench::mean(hier)) + "; Perfect " +
+            fmtPercent(hpbench::mean(perfect)) + ", HP share " +
+            fmtPercent(hpbench::mean(share)));
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Figure 12 — elimination of L2 misses caused by the top 10% of
+ * instruction accesses by reuse distance ("long-range misses").
+ * Paper: Hierarchical eliminates 53% on average (peak 72%), vs
+ * EIP 21%, MANA 11%, EFetch 7%.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace hp;
+
+    AsciiTable table(
+        "Figure 12: long-range L2 misses eliminated over FDIP");
+    table.setHeader(
+        {"workload", "EFetch", "MANA", "EIP", "Hierarchical"});
+
+    std::vector<std::vector<double>> cols(4);
+    for (const std::string &workload : allWorkloads()) {
+        std::vector<std::string> row = {workload};
+        unsigned c = 0;
+        for (PrefetcherKind kind : hpbench::comparedPrefetchers()) {
+            SimConfig config = defaultConfig(workload, kind);
+            config.trackReuse = true;
+            RunPair pair = ExperimentRunner::runPair(config);
+            cols[c].push_back(pair.paired.longRangeEliminated);
+            row.push_back(fmtPercent(pair.paired.longRangeEliminated));
+            ++c;
+        }
+        table.addRow(row);
+    }
+    table.addRow({"MEAN", fmtPercent(hpbench::mean(cols[0])),
+                  fmtPercent(hpbench::mean(cols[1])),
+                  fmtPercent(hpbench::mean(cols[2])),
+                  fmtPercent(hpbench::mean(cols[3]))});
+    std::fputs(table.render().c_str(), stdout);
+
+    hpbench::paperFooter(
+        "Fig12",
+        "long-range L2 miss elimination: EFetch 7%, MANA 11%, "
+        "EIP 21%, Hierarchical 53% (peak 72%)",
+        "MEAN row above — Hierarchical should dominate by a wide "
+        "margin");
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Figure 13 — Hierarchical Prefetching speedup sensitivity to (a) the
+ * Metadata Address Table size and (b) the in-memory Metadata Buffer
+ * size. Paper: gains saturate at 512 entries / 512 KB, justifying the
+ * default configuration.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+namespace
+{
+
+using namespace hp;
+
+double
+meanSpeedup(unsigned mat_entries, std::uint64_t buffer_bytes)
+{
+    std::vector<double> speedups;
+    for (const std::string &workload : allWorkloads()) {
+        SimConfig config =
+            defaultConfig(workload, PrefetcherKind::Hierarchical);
+        config.hier.matEntries = mat_entries;
+        config.hier.metadataBufferBytes = buffer_bytes;
+        speedups.push_back(
+            ExperimentRunner::runPair(config).paired.speedup);
+    }
+    return hpbench::mean(speedups);
+}
+
+} // namespace
+
+int
+main()
+{
+    // The synthetic binaries are ~10x smaller than the paper's (see
+    // EXPERIMENTS.md), so their dynamically-hot Bundle population is
+    // ~10x smaller too; the sweep extends below the paper's range so
+    // the capacity knee is visible at this scale.
+    AsciiTable table_a(
+        "Figure 13a: speedup vs Metadata Address Table entries "
+        "(512KB buffer)");
+    table_a.setHeader({"entries", "avg speedup"});
+    for (unsigned entries : {8u, 16u, 32u, 64u, 128u, 512u, 2048u}) {
+        table_a.addRow({std::to_string(entries),
+                        fmtPercent(meanSpeedup(entries, 512 * 1024))});
+    }
+    std::fputs(table_a.render().c_str(), stdout);
+    std::printf("\n");
+
+    AsciiTable table_b(
+        "Figure 13b: speedup vs Metadata Buffer size (512-entry "
+        "table)");
+    table_b.setHeader({"buffer", "avg speedup"});
+    for (std::uint64_t kb : {4u, 8u, 16u, 32u, 64u, 512u, 2048u}) {
+        table_b.addRow({std::to_string(kb) + "KB",
+                        fmtPercent(meanSpeedup(512, kb * 1024))});
+    }
+    std::fputs(table_b.render().c_str(), stdout);
+
+    hpbench::paperFooter(
+        "Fig13",
+        "speedup saturates at 512 table entries and 512KB buffer",
+        "see tables: beyond the capacity knee, bigger metadata "
+        "structures buy nothing (the knee sits ~10x lower here "
+        "because the binaries are ~10x smaller)");
+    return 0;
+}

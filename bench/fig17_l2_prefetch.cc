@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Figure 17 — Hierarchical Prefetching directed at the L2 instead of
+ * the L1-I. Paper: prefetching into the L2 captures most of the L1
+ * benefit (+5.8% average, +10% max) while avoiding L1-I thrashing.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace hp;
+
+    AsciiTable table("Figure 17: Hierarchical prefetching into the L2");
+    table.setHeader({"workload", "HP->L1I", "HP->L2"});
+
+    std::vector<double> to_l1, to_l2;
+    for (const std::string &workload : allWorkloads()) {
+        SimConfig l1cfg =
+            defaultConfig(workload, PrefetcherKind::Hierarchical);
+        RunPair l1pair = ExperimentRunner::runPair(l1cfg);
+
+        SimConfig l2cfg = l1cfg;
+        l2cfg.extPrefetchToL2 = true;
+        RunPair l2pair = ExperimentRunner::runPair(l2cfg);
+
+        to_l1.push_back(l1pair.paired.speedup);
+        to_l2.push_back(l2pair.paired.speedup);
+        table.addRow({workload, fmtPercent(l1pair.paired.speedup),
+                      fmtPercent(l2pair.paired.speedup)});
+    }
+    table.addRow({"MEAN", fmtPercent(hpbench::mean(to_l1)),
+                  fmtPercent(hpbench::mean(to_l2))});
+    std::fputs(table.render().c_str(), stdout);
+
+    hpbench::paperFooter(
+        "Fig17",
+        "prefetching into L2 keeps most of the benefit: +5.8% avg "
+        "(vs +6.6% into L1-I), up to +10%",
+        "MEAN row above — L2-directed gains should be slightly below "
+        "the L1-directed ones");
+    return 0;
+}

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the Hierarchical Prefetcher's
+ * hardware structures and the link-time analysis: per-operation cost
+ * of the Compression Buffer, Metadata Address Table, Metadata Buffer
+ * allocator, the conditional predictor, the L1-I model, and the full
+ * Bundle identification pass.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "binary/call_graph.hh"
+#include "cache/cache.hh"
+#include "core/bundle_analysis.hh"
+#include "core/compression_buffer.hh"
+#include "core/metadata_buffer.hh"
+#include "core/metadata_table.hh"
+#include "frontend/cond_predictor.hh"
+#include "util/rng.hh"
+#include "workload/program_builder.hh"
+#include "workload/request_engine.hh"
+
+namespace
+{
+
+void
+BM_CompressionBufferTouch(benchmark::State &state)
+{
+    hp::CompressionBuffer buffer(16);
+    hp::Rng rng(42);
+    std::uint64_t block = 0;
+    for (auto _ : state) {
+        // Mostly sequential with occasional jumps, like retired code.
+        block += rng.nextBool(0.9) ? hp::kBlockBytes
+                                   : rng.nextUint(1 << 20);
+        benchmark::DoNotOptimize(buffer.touch(hp::blockAlign(block)));
+    }
+}
+BENCHMARK(BM_CompressionBufferTouch);
+
+void
+BM_MetadataTableLookup(benchmark::State &state)
+{
+    hp::MetadataAddressTable table(512, 8, 11);
+    hp::Rng rng(7);
+    for (unsigned i = 0; i < 512; ++i)
+        table.insert(static_cast<hp::BundleId>(rng.next() & 0xffffff),
+                     i);
+    hp::Rng lookup_rng(7);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(table.lookup(
+            static_cast<hp::BundleId>(lookup_rng.next() & 0xffffff)));
+    }
+}
+BENCHMARK(BM_MetadataTableLookup);
+
+void
+BM_MetadataBufferAllocate(benchmark::State &state)
+{
+    hp::MetadataBuffer buffer(512 * 1024);
+    std::uint32_t owner = 0;
+    for (auto _ : state) {
+        ++owner;
+        benchmark::DoNotOptimize(
+            buffer.allocate(owner & 0xffffff, (owner & 7) == 0));
+    }
+}
+BENCHMARK(BM_MetadataBufferAllocate);
+
+void
+BM_CondPredictor(benchmark::State &state)
+{
+    hp::CondPredictor pred;
+    hp::Rng rng(3);
+    for (auto _ : state) {
+        hp::Addr pc = (rng.next() & 0xffff) * 4;
+        bool taken = rng.nextBool(0.7);
+        benchmark::DoNotOptimize(pred.predict(pc));
+        pred.update(pc, taken);
+    }
+}
+BENCHMARK(BM_CondPredictor);
+
+void
+BM_L1IAccess(benchmark::State &state)
+{
+    hp::SetAssocCache l1i("L1I", 32 * 1024, 8);
+    hp::Rng rng(11);
+    for (auto _ : state) {
+        hp::Addr block = hp::blockAlign(rng.nextUint(1 << 22));
+        if (!l1i.access(block))
+            l1i.insert(block, hp::Origin::Demand);
+    }
+}
+BENCHMARK(BM_L1IAccess);
+
+void
+BM_BundleAnalysis(benchmark::State &state)
+{
+    const hp::AppProfile &profile = hp::appProfile("caddy");
+    auto app = hp::ProgramBuilder::cached(profile);
+    for (auto _ : state) {
+        hp::CallGraph graph(app->program);
+        auto analysis = hp::findBundleEntries(graph);
+        benchmark::DoNotOptimize(analysis.entries.size());
+    }
+}
+BENCHMARK(BM_BundleAnalysis)->Unit(benchmark::kMillisecond);
+
+void
+BM_RequestEngine(benchmark::State &state)
+{
+    const hp::AppProfile &profile = hp::appProfile("caddy");
+    auto app = hp::ProgramBuilder::cached(profile);
+    hp::RequestEngine engine(app, profile);
+    hp::DynInst inst;
+    for (auto _ : state) {
+        engine.next(inst);
+        benchmark::DoNotOptimize(inst.pc);
+    }
+}
+BENCHMARK(BM_RequestEngine);
+
+} // namespace

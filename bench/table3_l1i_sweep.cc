@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Table 3 — prefetcher accuracy, coverage and speedup under varying
+ * L1-I capacities (32..256 KB). Paper: EIP accuracy improves with
+ * bigger caches (30->42%) as pollution is absorbed; HP improves
+ * moderately (53->57%); IPC gains shrink with size but HP stays ahead
+ * (+5.1% at 256 KB).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace hp;
+
+    AsciiTable table(
+        "Table 3: accuracy / coverage / speedup vs L1-I size");
+    table.setHeader({"prefetcher", "L1-I", "accuracy", "coverage",
+                     "speedup"});
+
+    for (PrefetcherKind kind : hpbench::comparedPrefetchers()) {
+        for (unsigned kb : {32u, 64u, 128u, 256u}) {
+            std::vector<double> acc, cov, speedup;
+            for (const std::string &workload : allWorkloads()) {
+                SimConfig config = defaultConfig(workload, kind);
+                config.mem.l1iBytes = std::uint64_t(kb) * 1024;
+                RunPair pair = ExperimentRunner::runPair(config);
+                acc.push_back(pair.paired.accuracy);
+                cov.push_back(pair.paired.coverageL1);
+                speedup.push_back(pair.paired.speedup);
+            }
+            table.addRow({prefetcherName(kind),
+                          std::to_string(kb) + "KB",
+                          fmtPercent(hpbench::mean(acc)),
+                          fmtPercent(hpbench::mean(cov)),
+                          fmtPercent(hpbench::mean(speedup))});
+        }
+    }
+    std::fputs(table.render().c_str(), stdout);
+
+    hpbench::paperFooter(
+        "Table3",
+        "EIP accuracy 30->42% as L1-I grows 32->256KB; HP 53->57%; "
+        "IPC gains shrink with cache size but HP keeps +5.1% at 256KB",
+        "see table: accuracy should rise with L1-I size for the "
+        "pollution-bound prefetchers; gains shrink with size; HP "
+        "stays ahead at every size");
+    return 0;
+}

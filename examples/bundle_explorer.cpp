@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Bundle explorer: runs the link-time analysis on a workload's binary
+ * and prints the static picture — reachable-size distribution, Bundle
+ * entry points by module class, and the largest Bundles. A diagnostic
+ * companion to the quickstart example.
+ *
+ * Usage: bundle_explorer [workload]   (default: tidb-tpcc)
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "binary/call_graph.hh"
+#include "stats/table.hh"
+#include "workload/program_builder.hh"
+
+namespace
+{
+
+const char *
+moduleClass(const hp::Program &program, hp::FuncId f)
+{
+    const std::string &name = program.func(f).name;
+    if (name.rfind("lib", 0) == 0)
+        return "cold-library";
+    if (name.rfind("util_", 0) == 0)
+        return "shared-runtime";
+    if (name.rfind("irq", 0) == 0)
+        return "kernel";
+    if (name.find("_dispatch") != std::string::npos)
+        return "stage-dispatcher";
+    if (name.find("_root") != std::string::npos ||
+        name.find("_r") != std::string::npos)
+        return "hot-routine";
+    return "driver";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string workload = argc > 1 ? argv[1] : "tidb-tpcc";
+    const hp::AppProfile &profile = hp::appProfile(workload);
+    auto app = hp::ProgramBuilder::cached(profile);
+    const hp::BundleAnalysis &analysis = app->image.analysis;
+
+    std::printf("== %s: static Bundle analysis ==\n",
+                profile.binary.c_str());
+    std::printf("functions %zu, code %s, entries %zu (%s)\n\n",
+                app->program.numFunctions(),
+                hp::fmtBytes(double(app->program.totalCodeBytes()))
+                    .c_str(),
+                analysis.entries.size(),
+                hp::fmtPercent(analysis.entryFraction).c_str());
+
+    // Reachable-size distribution.
+    std::vector<std::uint64_t> sizes = analysis.reachableSizes;
+    std::sort(sizes.begin(), sizes.end());
+    auto pct = [&sizes](double q) {
+        return double(sizes[std::size_t(q * (sizes.size() - 1))]);
+    };
+    std::printf("reachable size: p50 %s  p90 %s  p99 %s  max %s\n",
+                hp::fmtBytes(pct(0.50)).c_str(),
+                hp::fmtBytes(pct(0.90)).c_str(),
+                hp::fmtBytes(pct(0.99)).c_str(),
+                hp::fmtBytes(pct(1.0)).c_str());
+    std::size_t over = 0;
+    for (std::uint64_t s : sizes)
+        over += s >= hp::kDefaultBundleThreshold;
+    std::printf("functions >= 200KB reachable: %zu (%s)\n\n", over,
+                hp::fmtPercent(double(over) / sizes.size()).c_str());
+
+    // Entries by module class.
+    hp::AsciiTable table("Bundle entries by code class");
+    table.setHeader({"class", "entries"});
+    std::vector<std::pair<std::string, unsigned>> classes;
+    for (hp::FuncId f : analysis.entries) {
+        std::string cls = moduleClass(app->program, f);
+        auto it = std::find_if(classes.begin(), classes.end(),
+                               [&cls](const auto &p) {
+                                   return p.first == cls;
+                               });
+        if (it == classes.end())
+            classes.emplace_back(cls, 1);
+        else
+            ++it->second;
+    }
+    for (const auto &[cls, count] : classes)
+        table.addRow({cls, std::to_string(count)});
+    std::fputs(table.render().c_str(), stdout);
+
+    // Largest Bundles.
+    std::vector<hp::FuncId> entries = analysis.entries;
+    std::sort(entries.begin(), entries.end(),
+              [&analysis](hp::FuncId a, hp::FuncId b) {
+                  return analysis.reachableSizes[a] >
+                         analysis.reachableSizes[b];
+              });
+    std::printf("\nlargest Bundle entry points:\n");
+    for (std::size_t i = 0; i < std::min<std::size_t>(8, entries.size());
+         ++i) {
+        hp::FuncId f = entries[i];
+        std::printf("  %-28s %s\n",
+                    app->program.func(f).name.c_str(),
+                    hp::fmtBytes(
+                        double(analysis.reachableSizes[f])).c_str());
+    }
+    return 0;
+}

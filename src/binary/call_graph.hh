@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Static call graph and reachable-size analysis.
+ *
+ * This implements the first two steps of the paper's Algorithm 1: call
+ * graph construction from the program image, and per-function reachable
+ * size (total unique code bytes of the function and everything reachable
+ * from it). Cycles (recursion) are handled by condensing strongly
+ * connected components first, exactly as a production implementation
+ * over real binaries must.
+ */
+
+#ifndef HP_BINARY_CALL_GRAPH_HH
+#define HP_BINARY_CALL_GRAPH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "binary/program.hh"
+
+namespace hp
+{
+
+/** Static call graph with parent/child adjacency and SCC condensation. */
+class CallGraph
+{
+  public:
+    /**
+     * Builds the graph from @p program: one node per function, one edge
+     * per (caller, candidate callee) pair; indirect call sites
+     * contribute one edge per candidate. Duplicate edges are collapsed.
+     */
+    explicit CallGraph(const Program &program);
+
+    std::size_t numFunctions() const { return children_.size(); }
+
+    const std::vector<FuncId> &children(FuncId f) const { return children_[f]; }
+    const std::vector<FuncId> &parents(FuncId f) const { return parents_[f]; }
+
+    /** Functions that no other function calls (request entry points). */
+    const std::vector<FuncId> &roots() const { return roots_; }
+
+    /** SCC index of a function (computed lazily on first use). */
+    std::uint32_t sccOf(FuncId f) const;
+
+    std::size_t numSccs() const;
+
+    /**
+     * Reachable size per function: unique code bytes of the function
+     * plus all functions transitively reachable from it. All members of
+     * an SCC share a value. Computed lazily and cached.
+     */
+    const std::vector<std::uint64_t> &reachableSizes() const;
+
+  private:
+    void computeSccs() const;
+    void computeReachable() const;
+
+    const Program &program_;
+    std::vector<std::vector<FuncId>> children_;
+    std::vector<std::vector<FuncId>> parents_;
+    std::vector<FuncId> roots_;
+
+    // Lazily computed analyses (logically const).
+    mutable std::vector<std::uint32_t> scc_;
+    mutable std::uint32_t numSccs_ = 0;
+    mutable std::vector<std::uint64_t> reachable_;
+};
+
+} // namespace hp
+
+#endif // HP_BINARY_CALL_GRAPH_HH

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Static program model: functions, their control-flow micro-structure,
+ * and code layout.
+ *
+ * This stands in for the real ELF binaries the paper links and loads.
+ * Each function body is a compact list of BodyOps (instruction runs,
+ * conditional skips, loops, call sites, return); the workload engine
+ * interprets these ops to produce the dynamic instruction stream, and
+ * the Bundle analysis consumes the derived static call graph.
+ */
+
+#ifndef HP_BINARY_PROGRAM_HH
+#define HP_BINARY_PROGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace hp
+{
+
+/** Identifies a function within a Program. */
+using FuncId = std::uint32_t;
+
+/** Sentinel for "no function". */
+constexpr FuncId kNoFunc = 0xffffffff;
+
+/** Kinds of body operations making up a function. */
+enum class OpKind : std::uint8_t
+{
+    Run,      ///< A run of plain instructions.
+    Branch,   ///< Conditional forward branch skipping part of the body.
+    Loop,     ///< Conditional backward branch forming a loop.
+    CallSite, ///< Direct or indirect call.
+    Ret,      ///< Function return (must be the last op).
+};
+
+/**
+ * One element of a function body. Offsets are in instruction slots from
+ * the function entry; Run occupies @c length slots, every other op
+ * occupies exactly one slot.
+ */
+struct BodyOp
+{
+    OpKind kind = OpKind::Run;
+
+    /** First instruction slot occupied by this op. */
+    std::uint32_t offset = 0;
+
+    /** Run: number of plain instructions. */
+    std::uint32_t length = 0;
+
+    /**
+     * Branch: instructions skipped when taken.
+     * Loop: instructions jumped back over when taken.
+     */
+    std::uint32_t span = 0;
+
+    /** Branch/Loop: probability (percent) that the branch is taken. */
+    std::uint8_t biasTaken = 0;
+
+    /**
+     * Branch: percent chance per evaluation that the context-stable
+     * direction is flipped (per-execution control-flow jitter).
+     */
+    std::uint8_t jitter = 0;
+
+    /** Loop: mean extra iterations beyond the first. */
+    std::uint16_t meanIter = 0;
+
+    /** CallSite: index into Function::targets. */
+    std::uint32_t targetIdx = 0;
+
+    /** CallSite: probability (percent) the call executes at all. */
+    std::uint8_t execProb = 100;
+
+    /** CallSite: jitter (percent) applied to the execute decision. */
+    std::uint8_t execJitter = 0;
+
+    /** CallSite: true for indirect calls (target chosen at run time). */
+    bool indirect = false;
+};
+
+/** Candidate callees of one call site (one entry for direct calls). */
+struct CallTarget
+{
+    std::vector<FuncId> candidates;
+};
+
+/** A function: identity, layout, and body. */
+class Function
+{
+  public:
+    FuncId id = 0;
+
+    std::string name;
+
+    /** Module/library index; layout groups functions by module. */
+    std::uint16_t module = 0;
+
+    /** Assigned base address (set by Program::layout). */
+    Addr addr = 0;
+
+    std::vector<BodyOp> body;
+    std::vector<CallTarget> targets;
+
+    /** Number of instruction slots occupied by the body. */
+    std::uint32_t numInsts() const;
+
+    /** Code size in bytes (slots times instruction width). */
+    std::uint64_t sizeBytes() const { return std::uint64_t(numInsts()) * kInstBytes; }
+
+    /** Address of the instruction in slot @p slot. */
+    Addr instAddr(std::uint32_t slot) const { return addr + Addr(slot) * kInstBytes; }
+};
+
+/**
+ * A complete program image: all functions plus their layout. The
+ * Program is immutable once finalized; the Bundle analysis, loader and
+ * workload engine all reference it by const reference.
+ */
+class Program
+{
+  public:
+    /** Adds a function and returns its id. Body may be filled later. */
+    FuncId addFunction(std::string name, std::uint16_t module = 0);
+
+    Function &func(FuncId id) { return funcs_[id]; }
+    const Function &func(FuncId id) const { return funcs_[id]; }
+
+    std::size_t numFunctions() const { return funcs_.size(); }
+
+    const std::vector<Function> &functions() const { return funcs_; }
+
+    /**
+     * Assigns addresses to all functions, grouped by module, starting
+     * at @p base, and freezes the image. Must be called exactly once,
+     * after all bodies are final.
+     */
+    void layout(Addr base = 0x400000);
+
+    bool isLaidOut() const { return laidOut_; }
+
+    /** Total code bytes across all functions (valid after layout). */
+    std::uint64_t totalCodeBytes() const { return totalCode_; }
+
+    /** Finds the function containing @p addr, or kNoFunc. */
+    FuncId funcAt(Addr addr) const;
+
+    /**
+     * Checks structural invariants of every function body (monotonic
+     * offsets, spans inside the body, valid callee ids, trailing Ret).
+     * Calls panic() on violation; intended for tests and builders.
+     */
+    void validate() const;
+
+  private:
+    std::vector<Function> funcs_;
+    /** Function ids sorted by address (built by layout). */
+    std::vector<FuncId> byAddr_;
+    std::uint64_t totalCode_ = 0;
+    bool laidOut_ = false;
+};
+
+} // namespace hp
+
+#endif // HP_BINARY_PROGRAM_HH

@@ -1,0 +1,322 @@
+#include "cache/hierarchy.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace hp
+{
+
+std::uint64_t
+instShareBytes(std::uint64_t total, double fraction, unsigned ways)
+{
+    fatalIf(fraction <= 0.0 || fraction > 1.0,
+            "instruction share must be in (0, 1]");
+    std::uint64_t bytes = static_cast<std::uint64_t>(total * fraction);
+    std::uint64_t set_bytes = std::uint64_t(ways) * kBlockBytes;
+    bytes = std::max<std::uint64_t>(bytes / set_bytes, 1) * set_bytes;
+    return bytes;
+}
+
+CacheHierarchy::CacheHierarchy(const HierarchyParams &params)
+    : params_(params),
+      l1i_("L1I", params.l1iBytes, params.l1iWays),
+      l2_("L2i", instShareBytes(params.l2Bytes, params.l2InstFraction,
+                                params.l2Ways), params.l2Ways),
+      llc_("LLCi", instShareBytes(params.llcBytes, params.llcInstFraction,
+                                  params.llcWays), params.llcWays),
+      itlb_(params.itlbEntries, params.itlbWalkLatency)
+{}
+
+PrefetchStats &
+CacheHierarchy::statsFor(Origin origin)
+{
+    return origin == Origin::Fdip ? stats_.fdip : stats_.ext;
+}
+
+void
+CacheHierarchy::recordExtOutcome(Addr block, bool useful)
+{
+    auto it = extIssueSeq_.find(block);
+    if (it == extIssueSeq_.end())
+        return;
+    std::uint64_t distance = fetchBlockSeq_ - it->second;
+    extIssueSeq_.erase(it);
+
+    unsigned bin = 0;
+    while (bin + 1 < HierarchyStats::kDistanceBins &&
+           (1ull << (bin + 1)) <= distance) {
+        ++bin;
+    }
+    if (useful) {
+        stats_.extUsefulDistance.sample(double(distance));
+        ++stats_.extDistUseful[bin];
+    } else {
+        ++stats_.extDistUnused[bin];
+    }
+}
+
+void
+CacheHierarchy::tick(Cycle now)
+{
+    while (!completions_.empty() && completions_.begin()->first <= now) {
+        Addr block = completions_.begin()->second;
+        completions_.erase(completions_.begin());
+        auto it = mshrs_.find(block);
+        if (it == mshrs_.end())
+            continue;
+        completeFill(it->second);
+        mshrs_.erase(it);
+    }
+}
+
+void
+CacheHierarchy::completeFill(const Mshr &mshr)
+{
+    if (mshr.fromMem) {
+        std::uint64_t &bucket =
+            mshr.origin == Origin::Demand ? stats_.dramDemandBytes :
+            mshr.origin == Origin::Fdip ? stats_.dramFdipBytes :
+            stats_.dramExtBytes;
+        bucket += kBlockBytes;
+    }
+
+    if (mshr.fillLlc)
+        llc_.insert(mshr.block, mshr.origin);
+    if (mshr.fillL2)
+        l2_.insert(mshr.block, mshr.origin);
+
+    if (mshr.toL2Only)
+        return;
+
+    // A prefetched block that a demand merged into counts as serving
+    // demand; insert it as used so eviction does not call it useless.
+    Origin l1_origin = mshr.origin;
+    EvictInfo evicted = l1i_.insert(mshr.block, l1_origin);
+    if (mshr.origin != Origin::Demand) {
+        ++statsFor(mshr.origin).inserted;
+        if (mshr.demandMerged) {
+            // Mark used immediately: the merged demand consumes it.
+            l1i_.markUsed(mshr.block);
+        }
+    }
+    if (evicted.valid && evicted.origin != Origin::Demand &&
+        !evicted.used) {
+        ++statsFor(evicted.origin).uselessEvicted;
+        if (evicted.origin == Origin::Ext)
+            recordExtOutcome(evicted.block, /*useful=*/false);
+    }
+}
+
+CacheHierarchy::ProbeResult
+CacheHierarchy::probeBeyondL1(Addr block, bool demand)
+{
+    ProbeResult result;
+    if (!demand) {
+        // Prefetch-side probes must not disturb recency or the
+        // first-use tracking of resident blocks.
+        if (l2_.contains(block)) {
+            result.latency = params_.l2Latency;
+            result.level = ServiceLevel::L2;
+            return result;
+        }
+        result.fillL2 = true;
+        if (llc_.contains(block)) {
+            result.latency = params_.llcLatency;
+            result.level = ServiceLevel::Llc;
+            return result;
+        }
+        result.fillLlc = true;
+        result.fromMem = true;
+        result.latency = params_.memLatency;
+        result.level = ServiceLevel::Mem;
+        return result;
+    }
+    if (auto hit = l2_.access(block)) {
+        result.latency = params_.l2Latency;
+        result.level = ServiceLevel::L2;
+        if (demand && hit->firstUse) {
+            if (hit->origin == Origin::Ext)
+                result.extServedAtL2 = true;
+            else if (hit->origin == Origin::Fdip)
+                result.fdipServedAtL2 = true;
+        }
+        return result;
+    }
+    result.fillL2 = true;
+    if (llc_.access(block)) {
+        result.latency = params_.llcLatency;
+        result.level = ServiceLevel::Llc;
+        return result;
+    }
+    result.fillLlc = true;
+    result.fromMem = true;
+    result.latency = params_.memLatency;
+    result.level = ServiceLevel::Mem;
+    return result;
+}
+
+DemandResult
+CacheHierarchy::demandAccess(Addr block, Cycle now)
+{
+    ++stats_.demandAccesses;
+
+    if (auto hit = l1i_.access(block)) {
+        if (hit->firstUse && hit->origin != Origin::Demand) {
+            ++statsFor(hit->origin).usefulL1;
+            if (hit->origin == Origin::Ext)
+                recordExtOutcome(block, /*useful=*/true);
+        }
+        return {false, now + params_.l1iLatency, ServiceLevel::L1};
+    }
+
+    ++stats_.demandL1Misses;
+
+    if (auto it = mshrs_.find(block); it != mshrs_.end()) {
+        Mshr &mshr = it->second;
+        if (mshr.origin != Origin::Demand && !mshr.demandMerged) {
+            ++statsFor(mshr.origin).lateMerges;
+            if (mshr.origin == Origin::Ext)
+                recordExtOutcome(block, /*useful=*/true);
+        }
+        mshr.demandMerged = true;
+        // A prefetch targeting the L2 must now fill the L1-I too.
+        mshr.toL2Only = false;
+        Cycle wait = mshr.readyAt > now ? mshr.readyAt - now : 0;
+        stats_.missCyclesMshr += wait;
+        ++stats_.servedByMshr;
+        if (mshr.fillL2)
+            ++stats_.demandL2Misses;
+        if (mshr.fillLlc)
+            ++stats_.demandLlcMisses;
+        return {false, std::max(mshr.readyAt, now), ServiceLevel::Mshr};
+    }
+
+    if (mshrs_.size() >= params_.l1iMshrs)
+        return {true, now + 1, ServiceLevel::Mshr};
+
+    ProbeResult probe = probeBeyondL1(block, /*demand=*/true);
+    if (probe.extServedAtL2) {
+        ++stats_.ext.usefulL2;
+        // In prefetch-to-L2 mode this is the prefetch's payoff point.
+        recordExtOutcome(block, /*useful=*/true);
+    }
+    if (probe.fdipServedAtL2)
+        ++stats_.fdip.usefulL2;
+
+    switch (probe.level) {
+      case ServiceLevel::L2:
+        ++stats_.servedByL2;
+        stats_.missCyclesL2 += probe.latency;
+        break;
+      case ServiceLevel::Llc:
+        ++stats_.servedByLlc;
+        stats_.missCyclesLlc += probe.latency;
+        ++stats_.demandL2Misses;
+        break;
+      case ServiceLevel::Mem:
+        ++stats_.servedByMem;
+        stats_.missCyclesMem += probe.latency;
+        ++stats_.demandL2Misses;
+        ++stats_.demandLlcMisses;
+        break;
+      default:
+        break;
+    }
+
+    Mshr mshr;
+    mshr.block = block;
+    mshr.origin = Origin::Demand;
+    mshr.readyAt = now + probe.latency;
+    mshr.fillL2 = probe.fillL2;
+    mshr.fillLlc = probe.fillLlc;
+    mshr.fromMem = probe.fromMem;
+    mshr.demandMerged = true;
+    mshrs_.emplace(block, mshr);
+    completions_.emplace(mshr.readyAt, block);
+    return {false, mshr.readyAt, probe.level};
+}
+
+bool
+CacheHierarchy::prefetch(Addr block, Origin origin, Cycle now, bool to_l2)
+{
+    PrefetchStats &ps = statsFor(origin);
+    ++ps.issued;
+
+    if (to_l2 ? l2_.contains(block) : l1i_.contains(block)) {
+        ++ps.redundant;
+        return false;
+    }
+    if (mshrs_.count(block)) {
+        ++ps.redundant;
+        return false;
+    }
+    if (mshrs_.size() + params_.mshrsReservedForDemand >=
+        params_.l1iMshrs) {
+        ++ps.dropped;
+        return false;
+    }
+
+    ProbeResult probe = probeBeyondL1(block, /*demand=*/false);
+    if (to_l2 && probe.level == ServiceLevel::L2) {
+        // Already in the L2: nothing to do for an L2-targeted prefetch.
+        ++ps.redundant;
+        return false;
+    }
+
+    Mshr mshr;
+    mshr.block = block;
+    mshr.origin = origin;
+    mshr.readyAt = now + probe.latency;
+    mshr.fillL2 = probe.fillL2;
+    mshr.fillLlc = probe.fillLlc;
+    mshr.fromMem = probe.fromMem;
+    mshr.toL2Only = to_l2;
+    mshrs_.emplace(block, mshr);
+    completions_.emplace(mshr.readyAt, block);
+    if (to_l2)
+        ++ps.inserted;
+    if (origin == Origin::Ext)
+        extIssueSeq_[block] = fetchBlockSeq_;
+    return true;
+}
+
+unsigned
+CacheHierarchy::freeMshrs() const
+{
+    return params_.l1iMshrs > mshrs_.size()
+        ? params_.l1iMshrs - static_cast<unsigned>(mshrs_.size()) : 0;
+}
+
+Cycle
+CacheHierarchy::metadataRead(std::uint64_t bytes, Cycle now)
+{
+    ++metadataReads_;
+    bool from_dram = params_.metadataDramEvery != 0 &&
+        metadataReads_ % params_.metadataDramEvery == 0;
+    if (from_dram) {
+        stats_.dramMetadataReadBytes += roundUp(bytes, kBlockBytes);
+        return now + params_.memLatency;
+    }
+    return now + params_.llcLatency;
+}
+
+void
+CacheHierarchy::metadataWrite(std::uint64_t bytes, Cycle now)
+{
+    (void)now;
+    // Posted writes; dirty metadata lines eventually reach DRAM.
+    stats_.dramMetadataWriteBytes += bytes;
+}
+
+void
+CacheHierarchy::resetStats()
+{
+    stats_ = HierarchyStats{};
+    l1i_.resetStats();
+    l2_.resetStats();
+    llc_.resetStats();
+    itlb_.resetStats();
+}
+
+} // namespace hp

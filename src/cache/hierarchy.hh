@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Instruction-side cache hierarchy: L1-I with MSHRs, the instruction
+ * share of the unified L2 and LLC, DRAM latency, and full bandwidth
+ * accounting (demand fills, prefetch fills, and the Hierarchical
+ * Prefetcher's in-memory metadata traffic).
+ *
+ * Latencies default to the paper's Table 1 (L1-I 2, L2 14, LLC 50
+ * cycles, DDR4-2400 main memory). The unified L2/LLC are modeled by
+ * their instruction-capacity share, since data references are not
+ * simulated (see DESIGN.md Section 5).
+ */
+
+#ifndef HP_CACHE_HIERARCHY_HH
+#define HP_CACHE_HIERARCHY_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "cache/tlb.hh"
+#include "prefetch/prefetcher.hh"
+#include "stats/histogram.hh"
+#include "util/types.hh"
+
+namespace hp
+{
+
+/** Cache hierarchy geometry and latencies. */
+struct HierarchyParams
+{
+    std::uint64_t l1iBytes = 32 * 1024;
+    unsigned l1iWays = 8;
+    Cycle l1iLatency = 2;
+    unsigned l1iMshrs = 16;
+
+    std::uint64_t l2Bytes = 512 * 1024;
+    unsigned l2Ways = 8;
+    Cycle l2Latency = 14;
+    /** Instruction share of the unified L2 capacity. */
+    double l2InstFraction = 0.65;
+
+    std::uint64_t llcBytes = 2 * 1024 * 1024;
+    unsigned llcWays = 16;
+    Cycle llcLatency = 50;
+    /** Instruction share of the shared LLC capacity. */
+    double llcInstFraction = 0.6;
+
+    Cycle memLatency = 160;
+
+    unsigned itlbEntries = 64;
+    Cycle itlbWalkLatency = 50;
+
+    /** MSHRs kept free for demand misses (prefetch cannot take them). */
+    unsigned mshrsReservedForDemand = 4;
+
+    /**
+     * Every Nth metadata read misses the LLC and pays DRAM latency
+     * (the rest hit; records are LLC-cacheable per Section 5.3).
+     */
+    unsigned metadataDramEvery = 4;
+};
+
+/** Service level of a demand instruction access. */
+enum class ServiceLevel : std::uint8_t
+{
+    L1,   ///< Hit in the L1-I.
+    Mshr, ///< Merged into an outstanding fill.
+    L2,
+    Llc,
+    Mem,
+};
+
+/** Result of a demand block access. */
+struct DemandResult
+{
+    /** True when no MSHR was available; the access must be retried. */
+    bool retry = false;
+
+    /** Cycle at which fetch may consume the block. */
+    Cycle readyAt = 0;
+
+    ServiceLevel level = ServiceLevel::L1;
+};
+
+/** Per-origin prefetch effectiveness counters. */
+struct PrefetchStats
+{
+    std::uint64_t issued = 0;     ///< Requests presented to the hierarchy.
+    std::uint64_t redundant = 0;  ///< Already resident or in flight.
+    std::uint64_t dropped = 0;    ///< No MSHR available.
+    std::uint64_t inserted = 0;   ///< Fills that landed in the cache.
+    std::uint64_t usefulL1 = 0;   ///< First demand use of a prefetched block.
+    std::uint64_t usefulL2 = 0;   ///< Demand L1 miss served by prefetched L2 block.
+    std::uint64_t lateMerges = 0; ///< Demand merged into an in-flight prefetch.
+    std::uint64_t uselessEvicted = 0; ///< Evicted from L1-I without use.
+
+    /** Accuracy as in the paper: prefetches that served a demand fetch. */
+    double
+    accuracy() const
+    {
+        std::uint64_t served = usefulL1 + lateMerges;
+        std::uint64_t total = inserted ? inserted : 1;
+        return double(served) / double(total);
+    }
+
+    /** Fraction of demand-serving prefetches that arrived late. */
+    double
+    lateFraction() const
+    {
+        std::uint64_t served = usefulL1 + lateMerges;
+        return served ? double(lateMerges) / double(served) : 0.0;
+    }
+};
+
+/** Aggregate hierarchy statistics. */
+struct HierarchyStats
+{
+    std::uint64_t demandAccesses = 0;
+    std::uint64_t demandL1Misses = 0;  ///< Includes MSHR merges.
+    std::uint64_t demandL2Misses = 0;  ///< Demand misses not served by L2.
+    std::uint64_t demandLlcMisses = 0;
+
+    std::uint64_t servedByL2 = 0;
+    std::uint64_t servedByLlc = 0;
+    std::uint64_t servedByMem = 0;
+    std::uint64_t servedByMshr = 0;
+
+    /** Total demand stall-relevant miss latency, split by server. */
+    std::uint64_t missCyclesL2 = 0;
+    std::uint64_t missCyclesLlc = 0;
+    std::uint64_t missCyclesMem = 0;
+    std::uint64_t missCyclesMshr = 0;
+
+    PrefetchStats fdip;
+    PrefetchStats ext;
+
+    /**
+     * Prefetch distance (in fetched cache blocks between issue and
+     * demand use) of useful Ext prefetches — Table 2's "Distance" row.
+     */
+    Accumulator extUsefulDistance;
+
+    /**
+     * Distance-binned Ext prefetch outcomes for the Figure 2c study.
+     * Bin i covers distances [2^i, 2^(i+1)); the last bin is open.
+     */
+    static constexpr unsigned kDistanceBins = 10;
+    std::array<std::uint64_t, kDistanceBins> extDistUseful{};
+    std::array<std::uint64_t, kDistanceBins> extDistUnused{};
+
+    std::uint64_t dramDemandBytes = 0;
+    std::uint64_t dramFdipBytes = 0;
+    std::uint64_t dramExtBytes = 0;
+    std::uint64_t dramMetadataReadBytes = 0;
+    std::uint64_t dramMetadataWriteBytes = 0;
+
+    std::uint64_t totalMissCycles() const
+    {
+        return missCyclesL2 + missCyclesLlc + missCyclesMem +
+               missCyclesMshr;
+    }
+};
+
+/**
+ * The instruction-path hierarchy. Also implements the MetadataMemory
+ * service so the Hierarchical Prefetcher's metadata traffic competes
+ * with regular traffic in the statistics.
+ */
+class CacheHierarchy : public MetadataMemory
+{
+  public:
+    explicit CacheHierarchy(const HierarchyParams &params);
+
+    /** Processes fills that complete at or before @p now. */
+    void tick(Cycle now);
+
+    /**
+     * Demand access from fetch for the block containing @p addr.
+     * The I-TLB is consulted for page crossings by the caller (fetch);
+     * this interface works on block-aligned addresses.
+     */
+    DemandResult demandAccess(Addr block, Cycle now);
+
+    /**
+     * Prefetch request.
+     * @param block  Block-aligned target.
+     * @param origin Fdip or Ext.
+     * @param to_l2  Insert into the L2 only (the Figure 17 mode).
+     * @return True if a fill was initiated (not redundant/dropped).
+     */
+    bool prefetch(Addr block, Origin origin, Cycle now,
+                  bool to_l2 = false);
+
+    /** True if a demand for @p block would hit L1-I or merge. */
+    bool
+    wouldHitL1(Addr block) const
+    {
+        return l1i_.contains(block) || mshrs_.count(block) != 0;
+    }
+
+    /** Free MSHR slots (fetch uses this to pace itself). */
+    unsigned freeMshrs() const;
+
+    /**
+     * Advances the fetched-block sequence counter; called by the
+     * simulator whenever fetch moves to a new cache block. Prefetch
+     * distances are measured in this unit.
+     */
+    void noteFetchBlock() { ++fetchBlockSeq_; }
+
+    std::uint64_t fetchBlockSeq() const { return fetchBlockSeq_; }
+
+    // MetadataMemory interface (Section 5.3: metadata lives in memory,
+    // cacheable in the LLC, competing with regular traffic).
+    Cycle metadataRead(std::uint64_t bytes, Cycle now) override;
+    void metadataWrite(std::uint64_t bytes, Cycle now) override;
+
+    const HierarchyStats &stats() const { return stats_; }
+    Tlb &itlb() { return itlb_; }
+    SetAssocCache &l1i() { return l1i_; }
+    SetAssocCache &l2() { return l2_; }
+    SetAssocCache &llc() { return llc_; }
+    const HierarchyParams &params() const { return params_; }
+
+    /** Clears statistics after warmup (cache contents persist). */
+    void resetStats();
+
+  private:
+    struct Mshr
+    {
+        Addr block = 0;
+        Origin origin = Origin::Demand;
+        Cycle readyAt = 0;
+        bool fillL2 = false;
+        bool fillLlc = false;
+        bool demandMerged = false;
+        bool toL2Only = false;
+        bool fromMem = false;
+    };
+
+    PrefetchStats &statsFor(Origin origin);
+    void completeFill(const Mshr &mshr);
+
+    /** Looks up L2/LLC/mem and returns (latency, fill flags, fromMem). */
+    struct ProbeResult
+    {
+        Cycle latency = 0;
+        bool fillL2 = false;
+        bool fillLlc = false;
+        bool fromMem = false;
+        ServiceLevel level = ServiceLevel::L2;
+        /** Set when a demand L1 miss was served by an Ext block in L2. */
+        bool extServedAtL2 = false;
+        bool fdipServedAtL2 = false;
+    };
+    ProbeResult probeBeyondL1(Addr block, bool demand);
+
+    HierarchyParams params_;
+    SetAssocCache l1i_;
+    SetAssocCache l2_;
+    SetAssocCache llc_;
+    Tlb itlb_;
+
+    std::unordered_map<Addr, Mshr> mshrs_;
+    std::multimap<Cycle, Addr> completions_;
+
+    /** Issue sequence (fetch-block units) of in-cache Ext prefetches. */
+    std::unordered_map<Addr, std::uint64_t> extIssueSeq_;
+
+    void recordExtOutcome(Addr block, bool useful);
+
+    std::uint64_t fetchBlockSeq_ = 0;
+    std::uint64_t metadataReads_ = 0;
+
+    HierarchyStats stats_;
+};
+
+/** Computes the instruction-share capacity of a unified level. */
+std::uint64_t instShareBytes(std::uint64_t total, double fraction,
+                             unsigned ways);
+
+} // namespace hp
+
+#endif // HP_CACHE_HIERARCHY_HH

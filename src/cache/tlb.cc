@@ -1,0 +1,43 @@
+#include "cache/tlb.hh"
+
+#include "util/logging.hh"
+
+namespace hp
+{
+
+Tlb::Tlb(unsigned entries, Cycle walk_latency)
+    : entries_(entries), walkLatency_(walk_latency)
+{
+    fatalIf(entries == 0, "TLB needs at least one entry");
+}
+
+Cycle
+Tlb::translate(Addr addr)
+{
+    ++accesses_;
+    Addr page = pageAlign(addr);
+    auto it = map_.find(page);
+    if (it != map_.end()) {
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return 0;
+    }
+
+    ++misses_;
+    if (map_.size() >= entries_) {
+        Addr victim = lru_.back();
+        lru_.pop_back();
+        map_.erase(victim);
+    }
+    lru_.push_front(page);
+    map_[page] = lru_.begin();
+    return walkLatency_;
+}
+
+void
+Tlb::resetStats()
+{
+    accesses_ = 0;
+    misses_ = 0;
+}
+
+} // namespace hp

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Instruction TLB model: fully-associative, LRU. Misses charge a fixed
+ * page-walk latency; prefetch-side translations never stall the core
+ * but inherit the walk latency in their readiness time (Section 5.3.5
+ * dispatches spatial-region base addresses to the TLB).
+ */
+
+#ifndef HP_CACHE_TLB_HH
+#define HP_CACHE_TLB_HH
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "util/types.hh"
+
+namespace hp
+{
+
+/** Fully-associative I-TLB with LRU replacement. */
+class Tlb
+{
+  public:
+    /**
+     * @param entries      Capacity in page entries.
+     * @param walk_latency Page-walk latency in cycles on a miss.
+     */
+    explicit Tlb(unsigned entries = 64, Cycle walk_latency = 50);
+
+    /**
+     * Translates the page containing @p addr.
+     * @return Added latency: 0 on a hit, the walk latency on a miss
+     *         (the entry is filled).
+     */
+    Cycle translate(Addr addr);
+
+    std::uint64_t accesses() const { return accesses_; }
+    std::uint64_t misses() const { return misses_; }
+    Cycle walkLatency() const { return walkLatency_; }
+
+    void resetStats();
+
+  private:
+    unsigned entries_;
+    Cycle walkLatency_;
+
+    /** LRU list of resident pages; front = MRU. */
+    std::list<Addr> lru_;
+    std::unordered_map<Addr, std::list<Addr>::iterator> map_;
+
+    std::uint64_t accesses_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace hp
+
+#endif // HP_CACHE_TLB_HH

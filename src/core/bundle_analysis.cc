@@ -1,0 +1,48 @@
+#include "core/bundle_analysis.hh"
+
+namespace hp
+{
+
+BundleAnalysis
+findBundleEntries(const CallGraph &graph, std::uint64_t threshold)
+{
+    BundleAnalysis result;
+    result.reachableSizes = graph.reachableSizes();
+    const std::size_t n = graph.numFunctions();
+    result.entryMask_.assign(n, false);
+
+    for (std::size_t f = 0; f < n; ++f) {
+        const std::uint64_t size = result.reachableSizes[f];
+        if (size < threshold)
+            continue;
+
+        const auto &parents = graph.parents(static_cast<FuncId>(f));
+        bool is_entry = false;
+        if (parents.empty()) {
+            // Root nodes are Bundles whenever they meet the size
+            // requirement.
+            is_entry = true;
+        } else {
+            // Relaxed divergence test from Section 5.1: the child must
+            // meet the threshold and differ from some caller by more
+            // than the threshold.
+            for (FuncId parent : parents) {
+                std::uint64_t parent_size = result.reachableSizes[parent];
+                if (parent_size > size && parent_size - size > threshold) {
+                    is_entry = true;
+                    break;
+                }
+            }
+        }
+        if (is_entry) {
+            result.entries.push_back(static_cast<FuncId>(f));
+            result.entryMask_[f] = true;
+        }
+    }
+
+    result.entryFraction =
+        n ? static_cast<double>(result.entries.size()) / n : 0.0;
+    return result;
+}
+
+} // namespace hp

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Bundle entry-point identification (the paper's Algorithm 1).
+ *
+ * A Bundle is the stable acyclic region of the call graph between major
+ * control-flow divergence points. A function becomes a Bundle entry
+ * when (a) its reachable size meets the divergence threshold and (b) it
+ * is either a call-graph root or some caller's reachable size exceeds
+ * its own by more than the threshold (a major divergence point).
+ */
+
+#ifndef HP_CORE_BUNDLE_ANALYSIS_HH
+#define HP_CORE_BUNDLE_ANALYSIS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "binary/call_graph.hh"
+#include "binary/program.hh"
+
+namespace hp
+{
+
+/** Default divergence threshold from the paper (200 KB). */
+constexpr std::uint64_t kDefaultBundleThreshold = 200 * 1024;
+
+/** Result of the Bundle identification pass. */
+struct BundleAnalysis
+{
+    /** Functions whose entry starts a Bundle, in ascending id order. */
+    std::vector<FuncId> entries;
+
+    /** Reachable size (bytes) of every function, for reporting. */
+    std::vector<std::uint64_t> reachableSizes;
+
+    /** Convenience: entries.size() / numFunctions. */
+    double entryFraction = 0.0;
+
+    /** True if @p f is a Bundle entry. */
+    bool isEntry(FuncId f) const { return entryMask_[f]; }
+
+    friend BundleAnalysis findBundleEntries(const CallGraph &,
+                                            std::uint64_t);
+
+  private:
+    std::vector<bool> entryMask_;
+};
+
+/**
+ * Runs Algorithm 1 over a call graph.
+ *
+ * @param graph     Call graph of the laid-out program.
+ * @param threshold Divergence threshold in bytes (paper: 200 KB).
+ */
+BundleAnalysis findBundleEntries(
+    const CallGraph &graph,
+    std::uint64_t threshold = kDefaultBundleThreshold);
+
+} // namespace hp
+
+#endif // HP_CORE_BUNDLE_ANALYSIS_HH

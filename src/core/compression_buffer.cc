@@ -1,0 +1,47 @@
+#include "core/compression_buffer.hh"
+
+#include "util/logging.hh"
+
+namespace hp
+{
+
+CompressionBuffer::CompressionBuffer(unsigned entries)
+    : capacity_(entries)
+{
+    fatalIf(entries == 0, "CompressionBuffer needs at least one entry");
+}
+
+std::optional<SpatialRegion>
+CompressionBuffer::touch(Addr block_addr)
+{
+    // Fully-associative search: newest-first, since retired blocks hit
+    // the most recently opened region almost always.
+    for (auto it = fifo_.rbegin(); it != fifo_.rend(); ++it) {
+        if (it->covers(block_addr)) {
+            it->touch(block_addr);
+            return std::nullopt;
+        }
+    }
+
+    SpatialRegion fresh;
+    fresh.base = blockAlign(block_addr);
+    fresh.touch(block_addr);
+
+    std::optional<SpatialRegion> evicted;
+    if (fifo_.size() == capacity_) {
+        evicted = fifo_.front();
+        fifo_.pop_front();
+    }
+    fifo_.push_back(fresh);
+    return evicted;
+}
+
+std::vector<SpatialRegion>
+CompressionBuffer::flush()
+{
+    std::vector<SpatialRegion> drained(fifo_.begin(), fifo_.end());
+    fifo_.clear();
+    return drained;
+}
+
+} // namespace hp

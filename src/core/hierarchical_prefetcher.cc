@@ -1,0 +1,372 @@
+#include "core/hierarchical_prefetcher.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace hp
+{
+
+namespace
+{
+
+/** Pointer width for the default 512 KB buffer (11 bits, per paper). */
+unsigned
+tablePointerBits(const MetadataBuffer &buffer)
+{
+    return buffer.pointerBits();
+}
+
+} // namespace
+
+HierarchicalPrefetcher::HierarchicalPrefetcher(
+    const HierarchicalConfig &config, MetadataMemory &memory)
+    : config_(config),
+      memory_(memory),
+      compression_(config.compressionEntries),
+      buffer_(config.metadataBufferBytes),
+      table_(config.matEntries, config.matWays,
+             /*pointer_bits=*/0)
+{
+    // Rebuild the table with the pointer width the buffer actually
+    // needs so the storage report is exact.
+    table_ = MetadataAddressTable(config.matEntries, config.matWays,
+                                  tablePointerBits(buffer_));
+    // Bulk replay: a Bundle can stream thousands of blocks; the queue
+    // is the pacing buffer between segment reads and the issue port.
+    setMaxQueue(8192);
+}
+
+std::uint64_t
+HierarchicalPrefetcher::storageBits() const
+{
+    // Only the Metadata Address Table and the Compression Buffer live
+    // on chip; all Bundle records are in main memory.
+    return table_.storageBits() + compression_.storageBits();
+}
+
+void
+HierarchicalPrefetcher::onCommit(const DynInst &inst, Cycle now)
+{
+    if (inst.tagged && (isCall(inst.kind) || inst.kind == InstKind::Return))
+        bundleBoundary(inst, now);
+
+    if (!recording_)
+        return;
+
+    ++recordInsts_;
+    Addr block = blockAlign(inst.pc);
+    if (block != lastBlock_) {
+        lastBlock_ = block;
+        if (auto evicted = compression_.touch(block))
+            appendRegion(*evicted, now);
+        if (config_.trackBundleStats)
+            curFootprint_.push_back(block);
+    }
+}
+
+void
+HierarchicalPrefetcher::bundleBoundary(const DynInst &inst, Cycle now)
+{
+    ++stats_.taggedCommits;
+
+    endRecord(now);
+
+    BundleId id = bundleIdFor(inst.nextFetchPc());
+    ++stats_.bundlesStarted;
+
+    // Replay must look up the table *before* record allocation can
+    // disturb it.
+    auto head = table_.lookup(id);
+    if (head && buffer_.ownedBy(*head, id)) {
+        ++stats_.matHits;
+        beginReplay(*head, now);
+    } else {
+        ++stats_.matMisses;
+        // A stale pointer (record reclaimed by buffer wraparound)
+        // behaves like a miss.
+        head.reset();
+    }
+
+    beginRecord(id, now);
+    recordStartCycle_ = now;
+}
+
+void
+HierarchicalPrefetcher::endRecord(Cycle now)
+{
+    if (!recording_)
+        return;
+
+    for (const SpatialRegion &region : compression_.flush())
+        appendRegion(region, now);
+
+    // Terminate the chain at the current segment: a superseding record
+    // that came out shorter strands the old tail, which the circular
+    // allocator reclaims eventually — exactly the implicit-linked-list
+    // behaviour of the in-memory buffer.
+    if (recordCur_ != kNoSeg)
+        buffer_.seg(recordCur_).next = kNoSeg;
+
+    // Header writeback for the final segment.
+    memory_.metadataWrite(kSegmentHeaderBytes, now);
+    stats_.metadataWriteBytes += kSegmentHeaderBytes;
+
+    if (config_.trackBundleStats) {
+        stats_.bundleExecInsts.sample(double(recordInsts_));
+        stats_.bundleExecCycles.sample(double(now - recordStartCycle_));
+
+        std::sort(curFootprint_.begin(), curFootprint_.end());
+        curFootprint_.erase(
+            std::unique(curFootprint_.begin(), curFootprint_.end()),
+            curFootprint_.end());
+        stats_.bundleFootprintBlocks.sample(double(curFootprint_.size()));
+
+        auto it = prevFootprint_.find(recordId_);
+        if (it != prevFootprint_.end() && !curFootprint_.empty()) {
+            std::size_t inter = 0;
+            const auto &prev = it->second;
+            std::size_t i = 0, j = 0;
+            while (i < prev.size() && j < curFootprint_.size()) {
+                if (prev[i] < curFootprint_[j]) {
+                    ++i;
+                } else if (prev[i] > curFootprint_[j]) {
+                    ++j;
+                } else {
+                    ++inter;
+                    ++i;
+                    ++j;
+                }
+            }
+            std::size_t uni = prev.size() + curFootprint_.size() - inter;
+            if (uni > 0)
+                stats_.bundleJaccard.sample(double(inter) / double(uni));
+        }
+        if (it == prevFootprint_.end())
+            ++stats_.dynamicBundles;
+        prevFootprint_[recordId_] = std::move(curFootprint_);
+        curFootprint_.clear();
+    }
+
+    recording_ = false;
+}
+
+void
+HierarchicalPrefetcher::beginRecord(BundleId id, Cycle now)
+{
+    recordId_ = id;
+    recordInsts_ = 0;
+    recordSegments_ = 0;
+    lastBlock_ = ~Addr(0);
+    curFootprint_.clear();
+
+    auto head = table_.lookup(id);
+    if (head && buffer_.ownedBy(*head, id) &&
+        config_.supersedeRecords) {
+        // Supersede the existing record in place.
+        recordHead_ = *head;
+        recordCur_ = recordHead_;
+        Segment &seg = buffer_.seg(recordCur_);
+        supersedeNext_ = seg.next;
+        seg.regions.clear();
+        seg.numInsts = 0;
+        ++recordSegments_;
+    } else if (head && buffer_.ownedBy(*head, id)) {
+        // Accumulation ablation: append the new execution after the
+        // existing chain instead of replacing it.
+        recordHead_ = *head;
+        recordCur_ = recordHead_;
+        unsigned chain_len = 1;
+        while (buffer_.seg(recordCur_).next != kNoSeg &&
+               buffer_.ownedBy(buffer_.seg(recordCur_).next, id) &&
+               chain_len < config_.maxSegmentsPerBundle) {
+            recordCur_ = buffer_.seg(recordCur_).next;
+            ++chain_len;
+        }
+        supersedeNext_ = kNoSeg;
+        recordSegments_ = chain_len;
+    } else {
+        auto [idx, invalidated] = buffer_.allocate(id, /*head=*/true);
+        if (invalidated) {
+            table_.invalidate(*invalidated);
+            ++stats_.matInvalidations;
+        }
+        ++stats_.segmentsAllocated;
+        recordHead_ = idx;
+        recordCur_ = idx;
+        supersedeNext_ = kNoSeg;
+        ++recordSegments_;
+        table_.insert(id, recordHead_);
+    }
+
+    memory_.metadataWrite(kSegmentHeaderBytes, now);
+    stats_.metadataWriteBytes += kSegmentHeaderBytes;
+    recording_ = true;
+}
+
+void
+HierarchicalPrefetcher::advanceRecordSegment(Cycle now)
+{
+    Segment &cur = buffer_.seg(recordCur_);
+
+    SegIdx next;
+    if (supersedeNext_ != kNoSeg &&
+        buffer_.ownedBy(supersedeNext_, recordId_)) {
+        // Reuse the next segment of the superseded chain.
+        next = supersedeNext_;
+        Segment &reused = buffer_.seg(next);
+        supersedeNext_ = reused.next;
+        reused.regions.clear();
+        reused.headOfBundle = false;
+        reused.next = kNoSeg;
+    } else {
+        supersedeNext_ = kNoSeg;
+        auto [idx, invalidated] = buffer_.allocate(recordId_,
+                                                   /*head=*/false);
+        if (invalidated) {
+            table_.invalidate(*invalidated);
+            ++stats_.matInvalidations;
+        }
+        ++stats_.segmentsAllocated;
+        next = idx;
+    }
+
+    cur.next = next;
+    Segment &fresh = buffer_.seg(next);
+    // Pacing checkpoint: replay of the segment after this one starts
+    // once the Bundle has retired this many instructions.
+    fresh.numInsts = recordInsts_;
+    recordCur_ = next;
+    ++recordSegments_;
+
+    memory_.metadataWrite(kSegmentHeaderBytes, now);
+    stats_.metadataWriteBytes += kSegmentHeaderBytes;
+}
+
+void
+HierarchicalPrefetcher::appendRegion(const SpatialRegion &region, Cycle now)
+{
+    if (!recording_ || recordCur_ == kNoSeg)
+        return;
+    if (recordSegments_ > config_.maxSegmentsPerBundle) {
+        ++stats_.recordsTruncated;
+        return;
+    }
+
+    Segment *cur = &buffer_.seg(recordCur_);
+    if (cur->full()) {
+        if (recordSegments_ == config_.maxSegmentsPerBundle) {
+            ++recordSegments_;
+            ++stats_.recordsTruncated;
+            return;
+        }
+        advanceRecordSegment(now);
+        cur = &buffer_.seg(recordCur_);
+    }
+    cur->regions.push_back(region);
+    ++stats_.regionsRecorded;
+
+    memory_.metadataWrite(kRegionEncodedBytes, now);
+    stats_.metadataWriteBytes += kRegionEncodedBytes;
+}
+
+void
+HierarchicalPrefetcher::beginReplay(SegIdx head, Cycle now)
+{
+    // Snapshot the chain contents up front. In hardware the replay
+    // reads race ahead of the superseding record's writes (the record
+    // trails execution by the Compression Buffer depth while replay
+    // runs ahead of execution), so reading the pre-supersede contents
+    // is the common case; snapshotting models it without simulating
+    // the byte-level race. Latency is still charged per segment read.
+    replay_.clear();
+    replayPos_ = 0;
+    replayIssued_.clear();
+
+    // Walk the chain and snapshot each segment.
+    std::vector<const Segment *> chain;
+    SegIdx idx = head;
+    BundleId owner = buffer_.seg(head).owner;
+    while (idx != kNoSeg && buffer_.ownedBy(idx, owner) &&
+           chain.size() < config_.maxSegmentsPerBundle) {
+        chain.push_back(&buffer_.seg(idx));
+        idx = chain.back()->next;
+    }
+
+    // Pacing (Section 5.3.5): segment N+1 becomes eligible once the
+    // Bundle has retired the num-insts checkpoint recorded for segment
+    // N, and its regions stream out across segment N's execution
+    // window — the region FIFO feeds the prefetch engine at roughly
+    // the pace the core consumes the previous segment. The first
+    // segment(s) are issued immediately at Bundle start.
+    Cycle chain_ready = now;
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+        ReplaySegment rs;
+        rs.regions = chain[i]->regions;
+        rs.immediate = i == 0;
+        rs.gateInsts =
+            (i < config_.aheadSegments) ? 0 : chain[i - 1]->numInsts;
+        rs.paceStart = (i == 0) ? 0 : chain[i - 1]->numInsts;
+        rs.paceEnd = chain[i]->numInsts;
+        if (rs.paceEnd < rs.paceStart)
+            rs.paceEnd = rs.paceStart;
+        // Sequential chain walk: each segment's read depends on the
+        // previous segment's next pointer.
+        chain_ready = memory_.metadataRead(kSegmentEncodedBytes,
+                                           chain_ready);
+        rs.readyAt = chain_ready;
+        stats_.metadataReadBytes += kSegmentEncodedBytes;
+        replay_.push_back(std::move(rs));
+    }
+
+    if (!replay_.empty())
+        ++stats_.replaysStarted;
+}
+
+void
+HierarchicalPrefetcher::tick(Cycle now)
+{
+    // Issue replay regions whose metadata has arrived, whose segment
+    // gate has opened, and whose sub-segment pacing point has been
+    // reached; leave queue room for a region's worth of blocks.
+    while (replayPos_ < replay_.size()) {
+        ReplaySegment &rs = replay_[replayPos_];
+        if (now < rs.readyAt)
+            return;
+        if (recordInsts_ < rs.gateInsts)
+            return;
+
+        while (rs.cursor < rs.regions.size()) {
+            if (config_.subSegmentPacing && !rs.immediate &&
+                !rs.regions.empty()) {
+                // Stream regions across the previous segment's
+                // execution window.
+                std::uint64_t span = rs.paceEnd - rs.paceStart;
+                std::uint64_t sub_gate = rs.paceStart +
+                    span * rs.cursor / rs.regions.size();
+                if (recordInsts_ < sub_gate)
+                    return;
+            }
+            if (queueDepth() + kRegionBlocks > maxQueue())
+                return;
+
+            const SpatialRegion &region = rs.regions[rs.cursor];
+            std::uint32_t bits = region.bits;
+            while (bits) {
+                unsigned bit = __builtin_ctz(bits);
+                bits &= bits - 1;
+                Addr block = region.blockAt(bit);
+                if (config_.replayDedup &&
+                    !replayIssued_.insert(block).second) {
+                    continue;
+                }
+                push(block);
+                ++stats_.replayPrefetches;
+            }
+            ++rs.cursor;
+        }
+        ++replayPos_;
+    }
+}
+
+} // namespace hp

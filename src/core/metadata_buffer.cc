@@ -1,0 +1,44 @@
+#include "core/metadata_buffer.hh"
+
+#include "util/logging.hh"
+
+namespace hp
+{
+
+MetadataBuffer::MetadataBuffer(std::uint64_t capacity_bytes)
+{
+    std::uint64_t count = capacity_bytes / kSegmentEncodedBytes;
+    fatalIf(count < 2, "Metadata Buffer too small for two segments");
+    segments_.resize(count);
+}
+
+std::pair<SegIdx, std::optional<std::uint32_t>>
+MetadataBuffer::allocate(std::uint32_t owner, bool head)
+{
+    SegIdx idx = cursor_;
+    cursor_ = (cursor_ + 1) % segments_.size();
+
+    Segment &victim = segments_[idx];
+    std::optional<std::uint32_t> invalidated;
+    if (victim.live && victim.headOfBundle && victim.owner != owner)
+        invalidated = victim.owner;
+
+    victim.owner = owner;
+    victim.headOfBundle = head;
+    victim.live = true;
+    victim.next = kNoSeg;
+    victim.numInsts = 0;
+    victim.regions.clear();
+    return {idx, invalidated};
+}
+
+unsigned
+MetadataBuffer::pointerBits() const
+{
+    unsigned bits = 1;
+    while ((1ull << bits) < segments_.size())
+        ++bits;
+    return bits;
+}
+
+} // namespace hp

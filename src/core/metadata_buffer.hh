@@ -1,0 +1,110 @@
+/**
+ * @file
+ * In-memory Metadata Buffer (Section 5.3.2): stores every Bundle's
+ * spatial-region sequence as a chain of fixed-size segments allocated
+ * from a circular buffer. When the buffer wraps, reclaimed segments
+ * invalidate their owning Bundle (the caller invalidates the Metadata
+ * Address Table entry).
+ */
+
+#ifndef HP_CORE_METADATA_BUFFER_HH
+#define HP_CORE_METADATA_BUFFER_HH
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/spatial_region.hh"
+
+namespace hp
+{
+
+/** Spatial regions per segment (Section 5.3: 32). */
+constexpr unsigned kRegionsPerSegment = 32;
+
+/** Segment header: next pointer, num-insts checkpoint, Bundle ID. */
+constexpr unsigned kSegmentHeaderBytes = 16;
+
+/** Encoded size of one segment (the paper's 0.36 KB prefetch unit). */
+constexpr unsigned kSegmentEncodedBytes =
+    kRegionsPerSegment * kRegionEncodedBytes + kSegmentHeaderBytes;
+
+/** Segment index inside the Metadata Buffer. */
+using SegIdx = std::uint32_t;
+
+/** Sentinel for "no segment". */
+constexpr SegIdx kNoSeg = 0xffffffff;
+
+/** One segment of a Bundle record. */
+struct Segment
+{
+    /** Bundle that owns this segment (24-bit ID); checked on replay. */
+    std::uint32_t owner = 0;
+
+    /** True only for the head segment of a chain. */
+    bool headOfBundle = false;
+
+    /** True once allocated (until reclaimed by the circular cursor). */
+    bool live = false;
+
+    /** Next segment in the chain, or kNoSeg. */
+    SegIdx next = kNoSeg;
+
+    /**
+     * Instructions retired from the Bundle start when this segment was
+     * created; paces the replay of the following segment (§5.3.5).
+     */
+    std::uint64_t numInsts = 0;
+
+    /** Recorded spatial regions (up to kRegionsPerSegment). */
+    std::vector<SpatialRegion> regions;
+
+    bool full() const { return regions.size() >= kRegionsPerSegment; }
+};
+
+/**
+ * The circular segment allocator plus segment storage. This class
+ * models only the *contents* of the in-memory buffer; the latency and
+ * bandwidth of reaching it are charged by the prefetcher through the
+ * MetadataMemory service.
+ */
+class MetadataBuffer
+{
+  public:
+    /** @param capacity_bytes Total buffer size (paper: 512 KB/core). */
+    explicit MetadataBuffer(std::uint64_t capacity_bytes = 512 * 1024);
+
+    std::size_t numSegments() const { return segments_.size(); }
+
+    /**
+     * Allocates the segment at the circular cursor for @p owner.
+     * @return Pair of (new segment index, owner Bundle ID of a
+     *         reclaimed head segment if one was overwritten —
+     *         the caller must invalidate its table entry).
+     */
+    std::pair<SegIdx, std::optional<std::uint32_t>>
+    allocate(std::uint32_t owner, bool head);
+
+    Segment &seg(SegIdx idx) { return segments_[idx]; }
+    const Segment &seg(SegIdx idx) const { return segments_[idx]; }
+
+    /** True if @p idx currently belongs to Bundle @p owner. */
+    bool
+    ownedBy(SegIdx idx, std::uint32_t owner) const
+    {
+        return idx < segments_.size() && segments_[idx].owner == owner &&
+               segments_[idx].live;
+    }
+
+    /** Bits needed to index a segment (the table pointer width). */
+    unsigned pointerBits() const;
+
+  private:
+    std::vector<Segment> segments_;
+    SegIdx cursor_ = 0;
+};
+
+} // namespace hp
+
+#endif // HP_CORE_METADATA_BUFFER_HH

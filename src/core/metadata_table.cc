@@ -1,0 +1,90 @@
+#include "core/metadata_table.hh"
+
+#include "util/logging.hh"
+
+namespace hp
+{
+
+MetadataAddressTable::MetadataAddressTable(unsigned entries, unsigned ways,
+                                           unsigned pointer_bits)
+    : ways_(ways), pointerBits_(pointer_bits)
+{
+    fatalIf(ways == 0 || entries == 0 || entries % ways != 0,
+            "Metadata Address Table geometry invalid");
+    numSets_ = entries / ways;
+    fatalIf((numSets_ & (numSets_ - 1)) != 0,
+            "Metadata Address Table set count must be a power of two");
+    setBits_ = 0;
+    while ((1u << setBits_) < numSets_)
+        ++setBits_;
+    ways_storage_.resize(numSets_ * ways_);
+}
+
+std::optional<SegIdx>
+MetadataAddressTable::lookup(BundleId id)
+{
+    Way *set = &ways_storage_[setIndex(id) * ways_];
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (set[w].valid && set[w].tag == tagOf(id)) {
+            set[w].lastUse = ++useClock_;
+            return set[w].head;
+        }
+    }
+    return std::nullopt;
+}
+
+void
+MetadataAddressTable::insert(BundleId id, SegIdx head)
+{
+    Way *set = &ways_storage_[setIndex(id) * ways_];
+    Way *victim = &set[0];
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (set[w].valid && set[w].tag == tagOf(id)) {
+            victim = &set[w];
+            break;
+        }
+        if (!set[w].valid) {
+            victim = &set[w];
+            break;
+        }
+        if (set[w].lastUse < victim->lastUse)
+            victim = &set[w];
+    }
+    victim->valid = true;
+    victim->tag = tagOf(id);
+    victim->head = head;
+    victim->lastUse = ++useClock_;
+}
+
+void
+MetadataAddressTable::invalidate(BundleId id)
+{
+    Way *set = &ways_storage_[setIndex(id) * ways_];
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (set[w].valid && set[w].tag == tagOf(id)) {
+            set[w].valid = false;
+            return;
+        }
+    }
+}
+
+std::uint64_t
+MetadataAddressTable::storageBits() const
+{
+    // Per entry: tag + pointer + valid bit; plus one LRU bit per way
+    // as in the paper's 15872-bit accounting for 512 x 8-way.
+    std::uint64_t tag_bits = kBundleIdBits - setBits_;
+    std::uint64_t per_entry = tag_bits + pointerBits_ + 1 + 1;
+    return per_entry * numEntries();
+}
+
+std::size_t
+MetadataAddressTable::occupancy() const
+{
+    std::size_t live = 0;
+    for (const Way &way : ways_storage_)
+        live += way.valid ? 1 : 0;
+    return live;
+}
+
+} // namespace hp

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Metadata Address Table (Section 5.3.3): the only sizable on-chip
+ * structure of the Hierarchical Prefetcher. A set-associative,
+ * LRU-replaced table mapping 24-bit Bundle IDs to the head-segment
+ * index of their record in the in-memory Metadata Buffer.
+ *
+ * Default geometry (512 entries, 8-way, 18-bit tag + 11-bit pointer +
+ * valid bit + per-way LRU bit) matches the paper's 1.94 KB budget.
+ */
+
+#ifndef HP_CORE_METADATA_TABLE_HH
+#define HP_CORE_METADATA_TABLE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/metadata_buffer.hh"
+
+namespace hp
+{
+
+/** 24-bit Bundle identifier. */
+using BundleId = std::uint32_t;
+
+/** Width of a Bundle ID in bits. */
+constexpr unsigned kBundleIdBits = 24;
+
+/** Set-associative Bundle ID -> head segment map with LRU replacement. */
+class MetadataAddressTable
+{
+  public:
+    /**
+     * @param entries     Total entries (power of two; paper: 512).
+     * @param ways        Associativity (paper: 8).
+     * @param pointer_bits Width of the stored segment pointer, used
+     *                    only for the storage-bit report.
+     */
+    MetadataAddressTable(unsigned entries = 512, unsigned ways = 8,
+                         unsigned pointer_bits = 11);
+
+    /**
+     * Looks up @p id and refreshes its LRU position on hit.
+     * @return Head segment index, or nullopt on miss.
+     */
+    std::optional<SegIdx> lookup(BundleId id);
+
+    /**
+     * Inserts or updates the mapping, evicting the set's LRU entry if
+     * needed.
+     */
+    void insert(BundleId id, SegIdx head);
+
+    /** Removes the mapping for @p id if present (buffer wraparound). */
+    void invalidate(BundleId id);
+
+    /** On-chip storage in bits (tag + pointer + valid + LRU per way). */
+    std::uint64_t storageBits() const;
+
+    unsigned numEntries() const { return numSets_ * ways_; }
+
+    /** Resident valid entries (diagnostics). */
+    std::size_t occupancy() const;
+
+  private:
+    struct Way
+    {
+        bool valid = false;
+        std::uint32_t tag = 0;
+        SegIdx head = kNoSeg;
+        std::uint64_t lastUse = 0;
+    };
+
+    unsigned setIndex(BundleId id) const { return id & (numSets_ - 1); }
+    std::uint32_t tagOf(BundleId id) const { return id >> setBits_; }
+
+    unsigned numSets_;
+    unsigned setBits_;
+    unsigned ways_;
+    unsigned pointerBits_;
+    std::uint64_t useClock_ = 0;
+    std::vector<Way> ways_storage_;
+};
+
+} // namespace hp
+
+#endif // HP_CORE_METADATA_TABLE_HH

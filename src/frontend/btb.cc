@@ -1,0 +1,79 @@
+#include "frontend/btb.hh"
+
+#include "util/hash.hh"
+#include "util/logging.hh"
+
+namespace hp
+{
+
+Btb::Btb(unsigned entries, unsigned ways)
+    : infinite_(entries == 0), ways_(ways)
+{
+    if (infinite_)
+        return;
+    fatalIf(ways == 0 || entries % ways != 0, "BTB geometry invalid");
+    numSets_ = entries / ways;
+    fatalIf((numSets_ & (numSets_ - 1)) != 0,
+            "BTB set count must be a power of two");
+    table_.resize(entries);
+}
+
+unsigned
+Btb::setIndex(Addr pc) const
+{
+    return static_cast<unsigned>(mix64(pc >> 2) & (numSets_ - 1));
+}
+
+std::optional<Addr>
+Btb::lookup(Addr pc)
+{
+    ++lookups_;
+    if (infinite_) {
+        auto it = infTable_.find(pc);
+        if (it == infTable_.end()) {
+            ++misses_;
+            return std::nullopt;
+        }
+        return it->second;
+    }
+
+    Way *set = &table_[setIndex(pc) * ways_];
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (set[w].valid && set[w].pc == pc) {
+            set[w].lastUse = ++useClock_;
+            return set[w].target;
+        }
+    }
+    ++misses_;
+    return std::nullopt;
+}
+
+void
+Btb::update(Addr pc, Addr target)
+{
+    if (infinite_) {
+        infTable_[pc] = target;
+        return;
+    }
+
+    Way *set = &table_[setIndex(pc) * ways_];
+    Way *victim = &set[0];
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (set[w].valid && set[w].pc == pc) {
+            victim = &set[w];
+            break;
+        }
+        if (!set[w].valid) {
+            victim = &set[w];
+            break;
+        }
+        if (set[w].lastUse < victim->lastUse)
+            victim = &set[w];
+    }
+    victim->valid = true;
+    victim->pc = pc;
+    victim->target = target;
+    victim->lastUse = ++useClock_;
+}
+
+} // namespace hp

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Branch Target Buffer. FDIP's run-ahead is gated on the BTB knowing
+ * the target of every taken branch on the path; BTB misses are the main
+ * structural limiter of FDIP in server workloads (Section 2.1).
+ */
+
+#ifndef HP_FRONTEND_BTB_HH
+#define HP_FRONTEND_BTB_HH
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace hp
+{
+
+/**
+ * Set-associative BTB with LRU replacement. Passing 0 entries selects
+ * an infinite-capacity BTB (the Figure 14 study).
+ */
+class Btb
+{
+  public:
+    /**
+     * @param entries Total entries (paper: 8K); 0 means infinite.
+     * @param ways    Associativity (paper: 8).
+     */
+    explicit Btb(unsigned entries = 8192, unsigned ways = 8);
+
+    /** Looks up the target for branch @p pc; refreshes LRU on hit. */
+    std::optional<Addr> lookup(Addr pc);
+
+    /** Installs or updates the mapping after the branch resolves. */
+    void update(Addr pc, Addr target);
+
+    bool infinite() const { return infinite_; }
+
+    std::uint64_t lookups() const { return lookups_; }
+    std::uint64_t misses() const { return misses_; }
+
+  private:
+    struct Way
+    {
+        bool valid = false;
+        Addr pc = 0;
+        Addr target = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    unsigned setIndex(Addr pc) const;
+
+    bool infinite_;
+    unsigned numSets_ = 0;
+    unsigned ways_ = 0;
+    std::uint64_t useClock_ = 0;
+    std::vector<Way> table_;
+    std::unordered_map<Addr, Addr> infTable_;
+
+    std::uint64_t lookups_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace hp
+
+#endif // HP_FRONTEND_BTB_HH

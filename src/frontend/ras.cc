@@ -1,0 +1,51 @@
+#include "frontend/ras.hh"
+
+#include "util/logging.hh"
+
+namespace hp
+{
+
+Ras::Ras(unsigned depth)
+    : depth_(depth), stack_(depth, 0)
+{
+    fatalIf(depth == 0, "RAS depth must be positive");
+}
+
+void
+Ras::push(Addr return_addr)
+{
+    topIdx_ = (topIdx_ + 1) % depth_;
+    stack_[topIdx_] = return_addr;
+    if (size_ < depth_)
+        ++size_;
+    else
+        ++overflows_;
+}
+
+Addr
+Ras::pop()
+{
+    if (size_ == 0) {
+        ++underflows_;
+        return 0;
+    }
+    Addr value = stack_[topIdx_];
+    topIdx_ = (topIdx_ + depth_ - 1) % depth_;
+    --size_;
+    return value;
+}
+
+std::vector<Addr>
+Ras::top(unsigned n) const
+{
+    std::vector<Addr> result;
+    unsigned available = std::min(n, size_);
+    unsigned idx = topIdx_;
+    for (unsigned i = 0; i < available; ++i) {
+        result.push_back(stack_[idx]);
+        idx = (idx + depth_ - 1) % depth_;
+    }
+    return result;
+}
+
+} // namespace hp

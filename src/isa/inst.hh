@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Dynamic instruction records produced by the workload engine (or a
+ * trace reader) and consumed by the timing simulator.
+ *
+ * The ISA model is deliberately minimal: fixed 4-byte instructions and
+ * the six control-flow classes the front end cares about. Call/return
+ * instructions carry the Bundle entry tag bit that the paper encodes in
+ * reserved bits of the call/ret formats (Section 5.2).
+ */
+
+#ifndef HP_ISA_INST_HH
+#define HP_ISA_INST_HH
+
+#include <cstdint>
+
+#include "util/types.hh"
+
+namespace hp
+{
+
+/** Control-flow class of an instruction. */
+enum class InstKind : std::uint8_t
+{
+    Plain,        ///< Non-control-flow instruction.
+    CondBranch,   ///< Conditional direct branch.
+    Jump,         ///< Unconditional direct branch.
+    IndirectJump, ///< Unconditional indirect branch.
+    Call,         ///< Direct call.
+    IndirectCall, ///< Indirect call.
+    Return,       ///< Function return.
+};
+
+/** Marker events interleaved with the instruction stream by workloads. */
+enum class StreamMarker : std::uint8_t
+{
+    None,         ///< Plain instruction.
+    RequestBegin, ///< First instruction of a request.
+    StageBegin,   ///< First instruction of a pipeline stage.
+};
+
+/** Returns true for instruction kinds that redirect fetch when taken. */
+constexpr bool
+isControl(InstKind kind)
+{
+    return kind != InstKind::Plain;
+}
+
+/** Returns true for direct or indirect calls. */
+constexpr bool
+isCall(InstKind kind)
+{
+    return kind == InstKind::Call || kind == InstKind::IndirectCall;
+}
+
+/** Returns true for kinds whose target is not encoded in the inst. */
+constexpr bool
+isIndirect(InstKind kind)
+{
+    return kind == InstKind::IndirectJump || kind == InstKind::IndirectCall
+        || kind == InstKind::Return;
+}
+
+/**
+ * One retired (architectural-path) instruction.
+ *
+ * The engine emits the *actual* execution path; predictors inside the
+ * simulator decide how much of that path the front end would have been
+ * able to anticipate.
+ */
+struct DynInst
+{
+    /** Instruction address. */
+    Addr pc = 0;
+
+    /** Actual target when this is a taken control transfer, else 0. */
+    Addr target = 0;
+
+    /** Static function containing the instruction (probe/debug aid). */
+    std::uint32_t func = 0;
+
+    /** Auxiliary marker payload (stage index for StageBegin). */
+    std::uint16_t markerArg = 0;
+
+    InstKind kind = InstKind::Plain;
+
+    /** Actual direction for CondBranch; true for other transfers. */
+    bool taken = false;
+
+    /** Bundle entry tag (valid on Call/IndirectCall/Return only). */
+    bool tagged = false;
+
+    StreamMarker marker = StreamMarker::None;
+
+    /** Address of the next sequential instruction. */
+    Addr nextPc() const { return pc + kInstBytes; }
+
+    /** Address control flow actually continues at after this inst. */
+    Addr
+    nextFetchPc() const
+    {
+        return (isControl(kind) && taken) ? target : nextPc();
+    }
+};
+
+/**
+ * Pull interface for instruction streams. Implemented by the workload
+ * engine and by the trace reader, so the simulator is agnostic to the
+ * source of instructions.
+ */
+class InstStream
+{
+  public:
+    virtual ~InstStream() = default;
+
+    /**
+     * Produces the next instruction.
+     * @return false when the stream is exhausted.
+     */
+    virtual bool next(DynInst &inst) = 0;
+};
+
+} // namespace hp
+
+#endif // HP_ISA_INST_HH

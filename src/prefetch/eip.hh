@@ -1,0 +1,94 @@
+/**
+ * @file
+ * EIP — the Entangling Instruction Prefetcher (Ros & Jimborean,
+ * ISCA'21), winner of IPC-1 and the strongest fine-grained baseline in
+ * the paper. When a block misses, EIP walks a short history of recently
+ * fetched blocks to find a trigger that executed roughly one miss
+ * latency earlier and entangles (trigger -> missed block). Whenever a
+ * trigger is fetched again, all of its entangled targets are
+ * prefetched, which buys timeliness at the cost of accuracy: several
+ * recorded targets per trigger mean most issued prefetches chase paths
+ * that are not taken this time (Section 7.4's 2.4 targets/source).
+ */
+
+#ifndef HP_PREFETCH_EIP_HH
+#define HP_PREFETCH_EIP_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "prefetch/prefetcher.hh"
+
+namespace hp
+{
+
+/** EIP configuration. */
+struct EipConfig
+{
+    /** Entangled table entries (paper: 4K, 8-way, 40 KB). */
+    unsigned tableEntries = 4096;
+
+    unsigned tableWays = 8;
+
+    /** Recently fetched blocks remembered for trigger selection. */
+    unsigned historyEntries = 16;
+
+    /** Maximum entangled targets per source (encoding formats). */
+    unsigned maxTargets = 3;
+
+    /**
+     * Blocks prefetched per target. EIP entangles basic blocks, which
+     * span multiple cache lines; each issued target covers the miss
+     * block plus the following lines of the destination basic block.
+     */
+    unsigned targetRunBlocks = 3;
+};
+
+/** The EIP prefetcher. */
+class Eip : public Prefetcher
+{
+  public:
+    explicit Eip(const EipConfig &config = {});
+
+    std::string name() const override { return "EIP"; }
+
+    std::uint64_t storageBits() const override;
+
+    void onDemandAccess(Addr block, bool hit, Cycle now,
+                        Cycle fill_latency) override;
+
+    void onFdipPrefetch(Addr block, Cycle now) override;
+
+  private:
+    struct Target
+    {
+        Addr block = 0;
+        std::uint8_t confidence = 0;
+    };
+
+    struct Entry
+    {
+        bool valid = false;
+        Addr source = 0;
+        std::uint64_t lastUse = 0;
+        std::vector<Target> targets;
+    };
+
+    void observeFetch(Addr block, Cycle now);
+    void entangle(Addr source, Addr target);
+    Entry *find(Addr source);
+    Entry &allocate(Addr source);
+
+    EipConfig config_;
+    unsigned numSets_;
+    std::vector<Entry> table_;
+    std::uint64_t useClock_ = 0;
+
+    /** Recently fetched blocks with their fetch cycles (newest last). */
+    std::deque<std::pair<Addr, Cycle>> history_;
+};
+
+} // namespace hp
+
+#endif // HP_PREFETCH_EIP_HH

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Common interface for instruction prefetchers that run alongside FDIP.
+ *
+ * The simulator drives prefetchers with three event streams — retired
+ * instructions, L1-I demand-block accesses, and cycle ticks — and
+ * drains their request queue into the cache hierarchy at a configurable
+ * bandwidth. Prefetchers that keep bulk metadata in main memory (the
+ * Hierarchical Prefetcher) access it through the MetadataMemory service
+ * so that latency and bandwidth are accounted against regular traffic.
+ */
+
+#ifndef HP_PREFETCH_PREFETCHER_HH
+#define HP_PREFETCH_PREFETCHER_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "isa/inst.hh"
+#include "util/types.hh"
+
+namespace hp
+{
+
+/**
+ * Models the in-memory metadata path. Implemented by the simulator:
+ * reads return the cycle at which the data is available (LLC or DRAM
+ * latency), and both directions are charged to memory bandwidth.
+ */
+class MetadataMemory
+{
+  public:
+    virtual ~MetadataMemory() = default;
+
+    /** Reads @p bytes of metadata; returns the data-ready cycle. */
+    virtual Cycle metadataRead(std::uint64_t bytes, Cycle now) = 0;
+
+    /** Writes @p bytes of metadata (posted; no completion needed). */
+    virtual void metadataWrite(std::uint64_t bytes, Cycle now) = 0;
+};
+
+/** A metadata service that is free and instant (for unit tests). */
+class NullMetadataMemory : public MetadataMemory
+{
+  public:
+    Cycle metadataRead(std::uint64_t, Cycle now) override { return now; }
+    void metadataWrite(std::uint64_t, Cycle) override {}
+};
+
+/** Abstract instruction prefetcher. */
+class Prefetcher
+{
+  public:
+    virtual ~Prefetcher() = default;
+
+    virtual std::string name() const = 0;
+
+    /** On-chip metadata storage in bits (for the comparison tables). */
+    virtual std::uint64_t storageBits() const = 0;
+
+    /** Called for every retired instruction, in order. */
+    virtual void onCommit(const DynInst &inst, Cycle now)
+    {
+        (void)inst;
+        (void)now;
+    }
+
+    /**
+     * Called for every L1-I demand block access made by fetch.
+     * @param block        Block-aligned address.
+     * @param hit          True if the access hit in the L1-I.
+     * @param fill_latency Observed latency of the miss (0 on a hit) —
+     *                     EIP trains its trigger distance from this.
+     */
+    virtual void onDemandAccess(Addr block, bool hit, Cycle now,
+                                Cycle fill_latency)
+    {
+        (void)block;
+        (void)hit;
+        (void)now;
+        (void)fill_latency;
+    }
+
+    /**
+     * Called when FDIP issues a prefetch for an FTQ block. EIP treats
+     * these like demand accesses for training (Section 6.3).
+     */
+    virtual void onFdipPrefetch(Addr block, Cycle now)
+    {
+        (void)block;
+        (void)now;
+    }
+
+    /** Called once per cycle before the queue is drained. */
+    virtual void tick(Cycle now) { (void)now; }
+
+    /** Pops the next prefetch block address; false if queue empty. */
+    bool
+    popRequest(Addr &block)
+    {
+        if (queue_.empty())
+            return false;
+        block = queue_.front();
+        queue_.pop_front();
+        return true;
+    }
+
+    bool hasRequests() const { return !queue_.empty(); }
+
+    std::size_t queueDepth() const { return queue_.size(); }
+
+  protected:
+    /** Enqueues a block-aligned prefetch request. */
+    void
+    push(Addr block)
+    {
+        if (queue_.size() < maxQueue_)
+            queue_.push_back(block);
+    }
+
+    /** Sets the request-queue capacity (bulk prefetchers need more). */
+    void setMaxQueue(std::size_t capacity) { maxQueue_ = capacity; }
+
+    std::size_t maxQueue() const { return maxQueue_; }
+
+  private:
+    std::size_t maxQueue_ = 512;
+    std::deque<Addr> queue_;
+};
+
+} // namespace hp
+
+#endif // HP_PREFETCH_PREFETCHER_HH

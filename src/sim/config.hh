@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Simulation configuration: the modeled core (Table 1 parameters),
+ * the memory hierarchy, and the prefetcher under test.
+ */
+
+#ifndef HP_SIM_CONFIG_HH
+#define HP_SIM_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "cache/hierarchy.hh"
+#include "core/hierarchical_prefetcher.hh"
+#include "prefetch/efetch.hh"
+#include "prefetch/eip.hh"
+#include "prefetch/mana.hh"
+#include "prefetch/rdip.hh"
+
+namespace hp
+{
+
+/** Which prefetcher runs on top of FDIP. */
+enum class PrefetcherKind : std::uint8_t
+{
+    None,         ///< FDIP baseline only.
+    EFetch,
+    Mana,
+    Eip,
+    Rdip, ///< Related-work extension (not in the paper's figures).
+    Hierarchical,
+    PerfectL1I,   ///< Upper bound: every fetch hits the L1-I.
+};
+
+/** Returns the display name of a prefetcher kind. */
+const char *prefetcherName(PrefetcherKind kind);
+
+/** Full simulation configuration. */
+struct SimConfig
+{
+    /** Workload name (see workload/app_profile.hh). */
+    std::string workload = "tidb-tpcc";
+
+    std::uint64_t warmupInsts = 1'500'000;
+    std::uint64_t measureInsts = 3'000'000;
+
+    // ---- Front end (Table 1) ----
+
+    /** Fetch target queue entries (paper: 24). */
+    unsigned ftqEntries = 24;
+
+    /** Fetch bandwidth (paper: 16 bytes/cycle = 4 insts). */
+    unsigned fetchBytesPerCycle = 16;
+
+    /** FTQ entries the prediction unit can push per cycle. */
+    unsigned bpBlocksPerCycle = 2;
+
+    unsigned btbEntries = 8192; ///< 0 = infinite (Figure 14).
+    unsigned btbWays = 8;
+    unsigned rasDepth = 32;
+
+    /** Cycles to resteer after a BTB miss is discovered at decode. */
+    unsigned btbMissPenalty = 3;
+
+    /** Cycles of fetch bubble after a mispredict resolves. */
+    unsigned mispredictPenalty = 14;
+
+    // ---- Back end (idealized; see DESIGN.md Section 5) ----
+
+    /** Minimum fetch-to-commit latency. */
+    unsigned pipelineDepth = 10;
+
+    unsigned commitWidth = 6;
+    unsigned robEntries = 352;
+
+    /**
+     * Back-end stall model: a deterministic hash classifies this
+     * permille of instructions as long-latency (off-core data misses);
+     * each stalls commit for backendStallCycles. Calibrated so that
+     * front-end stalls are a realistic share of cycles (perfect L1-I
+     * gains ~17% over FDIP, Section 7.1).
+     */
+    unsigned backendStallPermille = 26;
+    unsigned backendStallCycles = 29;
+
+    // ---- Memory hierarchy ----
+
+    HierarchyParams mem;
+
+    // ---- Prefetcher under test ----
+
+    PrefetcherKind prefetcher = PrefetcherKind::None;
+
+    EFetchConfig efetch;
+    ManaConfig mana;
+    EipConfig eip;
+    RdipConfig rdip;
+    HierarchicalConfig hier;
+
+    /** Direct the Ext prefetcher at the L2 instead (Figure 17). */
+    bool extPrefetchToL2 = false;
+
+    /** Ext prefetch issue bandwidth (requests/cycle). */
+    unsigned extPrefetchesPerCycle = 4;
+
+    // ---- Analysis probes ----
+
+    /** Track reuse distances / long-range misses (Figure 12). */
+    bool trackReuse = false;
+
+    /** Long-range threshold: reuse distance at/above this percentile
+     *  of the warmup distribution counts as long-range. */
+    double longRangePercentile = 0.90;
+};
+
+} // namespace hp
+
+#endif // HP_SIM_CONFIG_HH

@@ -1,0 +1,56 @@
+#include "sim/metrics.hh"
+
+namespace hp
+{
+
+PairedMetrics
+pairedMetrics(const SimMetrics &run, const SimMetrics &baseline)
+{
+    PairedMetrics out;
+
+    if (baseline.cycles && run.cycles) {
+        double base_ipc = baseline.ipc();
+        if (base_ipc > 0.0)
+            out.speedup = run.ipc() / base_ipc - 1.0;
+    }
+
+    // Coverage over FDIP, as the paper defines it: the fraction of the
+    // baseline's demand misses eliminated. Computed from the actual
+    // miss reduction (counting served prefetches instead would credit
+    // a prefetcher for re-fetching blocks its own pollution evicted).
+    if (baseline.mem.demandL1Misses > 0) {
+        double base = double(baseline.mem.demandL1Misses);
+        out.coverageL1 = (base - double(run.mem.demandL1Misses)) / base;
+    }
+    if (baseline.mem.demandL2Misses > 0) {
+        double base = double(baseline.mem.demandL2Misses);
+        out.coverageL2 = (base - double(run.mem.demandL2Misses)) / base;
+    }
+
+    out.accuracy = run.mem.ext.accuracy();
+    out.lateFraction = run.mem.ext.lateFraction();
+    out.avgDistance = run.mem.extUsefulDistance.mean();
+
+    std::uint64_t base_bw = baseline.totalDramBytes();
+    if (base_bw > 0) {
+        out.bandwidthRatio =
+            double(run.totalDramBytes()) / double(base_bw);
+    }
+
+    if (baseline.longRangeL2Misses > 0) {
+        std::uint64_t base = baseline.longRangeL2Misses;
+        std::uint64_t now = run.longRangeL2Misses;
+        out.longRangeEliminated =
+            now < base ? double(base - now) / double(base) : 0.0;
+    }
+
+    std::uint64_t base_lat = baseline.mem.totalMissCycles();
+    if (base_lat > 0) {
+        out.missLatencyRatio =
+            double(run.mem.totalMissCycles()) / double(base_lat);
+    }
+
+    return out;
+}
+
+} // namespace hp

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Metrics extracted from a simulation run, plus the paired-run
+ * computations (speedup, coverage over the FDIP baseline) used by every
+ * table and figure.
+ */
+
+#ifndef HP_SIM_METRICS_HH
+#define HP_SIM_METRICS_HH
+
+#include <cstdint>
+
+#include "cache/hierarchy.hh"
+#include "core/hierarchical_prefetcher.hh"
+#include "workload/request_engine.hh"
+
+namespace hp
+{
+
+/** Everything a single simulation run reports (measurement phase). */
+struct SimMetrics
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+
+    double ipc() const { return cycles ? double(instructions) / cycles : 0.0; }
+
+    // Front-end behaviour.
+    std::uint64_t condBranches = 0;
+    std::uint64_t condMispredicts = 0;
+    std::uint64_t indirectMispredicts = 0;
+    std::uint64_t rasMispredicts = 0;
+    std::uint64_t btbMissBlocks = 0;
+    std::uint64_t fetchStallCycles = 0;
+    std::uint64_t backendStallCycles = 0;
+
+    // Memory system (instruction path).
+    HierarchyStats mem;
+    std::uint64_t itlbAccesses = 0;
+    std::uint64_t itlbMisses = 0;
+
+    // Hierarchical Prefetcher internals (when active).
+    HierarchicalStats hier;
+    bool hierActive = false;
+
+    // Long-range (Figure 12) probe.
+    std::uint64_t longRangeAccesses = 0;
+    std::uint64_t longRangeL2Misses = 0;
+
+    // Synthetic data-side DRAM traffic for bandwidth normalization.
+    std::uint64_t dataDramBytes = 0;
+
+    // Workload stream statistics.
+    EngineStats engine;
+
+    /** Total simulated DRAM traffic in bytes (Figure 16 numerator). */
+    std::uint64_t
+    totalDramBytes() const
+    {
+        return mem.dramDemandBytes + mem.dramFdipBytes +
+               mem.dramExtBytes + mem.dramMetadataReadBytes +
+               mem.dramMetadataWriteBytes + dataDramBytes;
+    }
+};
+
+/** Paired-run derived metrics (prefetcher run vs FDIP-only baseline). */
+struct PairedMetrics
+{
+    /** IPC speedup over the FDIP baseline (e.g. 0.066 = +6.6%). */
+    double speedup = 0.0;
+
+    /**
+     * L1-I coverage on top of FDIP: fraction of the baseline's demand
+     * misses that the Ext prefetcher turned into hits or merges.
+     */
+    double coverageL1 = 0.0;
+
+    /** L2 coverage on top of FDIP (same definition, at the L2). */
+    double coverageL2 = 0.0;
+
+    /** Ext prefetch accuracy. */
+    double accuracy = 0.0;
+
+    /** Fraction of demand-serving Ext prefetches arriving late. */
+    double lateFraction = 0.0;
+
+    /** Average useful-prefetch distance in cache blocks. */
+    double avgDistance = 0.0;
+
+    /** Total DRAM traffic relative to the baseline (1.0 = equal). */
+    double bandwidthRatio = 1.0;
+
+    /** Long-range L2 misses eliminated relative to the baseline. */
+    double longRangeEliminated = 0.0;
+
+    /** Instruction miss-latency cycles relative to the baseline. */
+    double missLatencyRatio = 1.0;
+};
+
+/** Computes the paired metrics for @p run against @p baseline. */
+PairedMetrics pairedMetrics(const SimMetrics &run,
+                            const SimMetrics &baseline);
+
+} // namespace hp
+
+#endif // HP_SIM_METRICS_HH

@@ -1,0 +1,116 @@
+#include "sim/runner.hh"
+
+#include <map>
+#include <mutex>
+#include <sstream>
+
+namespace hp
+{
+
+namespace
+{
+
+std::mutex g_mutex;
+std::map<std::string, SimMetrics> g_cache;
+std::size_t g_runs = 0;
+
+} // namespace
+
+std::string
+ExperimentRunner::configKey(const SimConfig &c)
+{
+    std::ostringstream key;
+    key << c.workload << '|' << c.warmupInsts << '|' << c.measureInsts
+        << '|' << c.ftqEntries << '|' << c.fetchBytesPerCycle << '|'
+        << c.bpBlocksPerCycle << '|' << c.btbEntries << '|' << c.btbWays
+        << '|' << c.rasDepth << '|' << c.btbMissPenalty << '|'
+        << c.mispredictPenalty << '|' << c.pipelineDepth << '|'
+        << c.commitWidth << '|' << c.robEntries << '|'
+        << c.backendStallPermille << '|' << c.backendStallCycles << '|';
+
+    const HierarchyParams &m = c.mem;
+    key << m.l1iBytes << ',' << m.l1iWays << ',' << m.l1iLatency << ','
+        << m.l1iMshrs << ',' << m.l2Bytes << ',' << m.l2Ways << ','
+        << m.l2Latency << ',' << m.l2InstFraction << ',' << m.llcBytes
+        << ',' << m.llcWays << ',' << m.llcLatency << ','
+        << m.llcInstFraction << ',' << m.memLatency << ','
+        << m.itlbEntries << ',' << m.itlbWalkLatency << ','
+        << m.mshrsReservedForDemand << ',' << m.metadataDramEvery << '|';
+
+    key << int(c.prefetcher) << '|';
+    key << c.efetch.tableEntries << ',' << c.efetch.signatureDepth << ','
+        << c.efetch.calleesPerEntry << ',' << c.efetch.lookahead << ','
+        << c.efetch.footprintEntries << '|';
+    key << c.mana.regionBlocks << ',' << c.mana.historyRegions << ','
+        << c.mana.indexEntries << ',' << c.mana.lookahead << '|';
+    key << c.eip.tableEntries << ',' << c.eip.tableWays << ','
+        << c.eip.historyEntries << ',' << c.eip.maxTargets << ','
+        << c.eip.targetRunBlocks << '|';
+    key << c.rdip.tableEntries << ',' << c.rdip.signatureDepth << ','
+        << c.rdip.blocksPerEntry << '|';
+    key << c.hier.compressionEntries << ',' << c.hier.metadataBufferBytes
+        << ',' << c.hier.matEntries << ',' << c.hier.matWays << ','
+        << c.hier.maxSegmentsPerBundle << ',' << c.hier.aheadSegments
+        << ',' << c.hier.replayDedup << ','
+        << c.hier.subSegmentPacing << ','
+        << c.hier.supersedeRecords << ','
+        << c.hier.trackBundleStats << '|';
+    key << c.extPrefetchToL2 << '|' << c.extPrefetchesPerCycle << '|'
+        << c.trackReuse << '|' << c.longRangePercentile;
+    return key.str();
+}
+
+const SimMetrics &
+ExperimentRunner::run(const SimConfig &config)
+{
+    std::string key = configKey(config);
+    {
+        std::lock_guard<std::mutex> lock(g_mutex);
+        auto it = g_cache.find(key);
+        if (it != g_cache.end())
+            return it->second;
+    }
+
+    Simulator sim(config);
+    SimMetrics metrics = sim.run();
+
+    std::lock_guard<std::mutex> lock(g_mutex);
+    ++g_runs;
+    auto [it, inserted] = g_cache.emplace(key, std::move(metrics));
+    (void)inserted;
+    return it->second;
+}
+
+RunPair
+ExperimentRunner::runPair(const SimConfig &config)
+{
+    SimConfig base_cfg = config;
+    base_cfg.prefetcher = PrefetcherKind::None;
+    base_cfg.extPrefetchToL2 = false;
+
+    RunPair pair;
+    pair.run = run(config);
+    pair.base = run(base_cfg);
+    pair.paired = pairedMetrics(pair.run, pair.base);
+    return pair;
+}
+
+std::size_t
+ExperimentRunner::simulationsRun()
+{
+    std::lock_guard<std::mutex> lock(g_mutex);
+    return g_runs;
+}
+
+SimConfig
+defaultConfig(const std::string &workload, PrefetcherKind kind)
+{
+    SimConfig config;
+    config.workload = workload;
+    config.prefetcher = kind;
+    if (kind == PrefetcherKind::Hierarchical)
+        config.hier.trackBundleStats = true;
+    return config;
+}
+
+} // namespace hp

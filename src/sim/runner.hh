@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Experiment runner: memoized simulation runs plus the paired
+ * run-vs-FDIP-baseline computation every figure needs. Within one
+ * process, identical configurations are simulated once.
+ */
+
+#ifndef HP_SIM_RUNNER_HH
+#define HP_SIM_RUNNER_HH
+
+#include <string>
+
+#include "sim/config.hh"
+#include "sim/metrics.hh"
+#include "sim/simulator.hh"
+
+namespace hp
+{
+
+/** A prefetcher run together with its FDIP-only baseline. */
+struct RunPair
+{
+    SimMetrics run;
+    SimMetrics base;
+    PairedMetrics paired;
+};
+
+/** Memoized simulation driver. */
+class ExperimentRunner
+{
+  public:
+    /** Runs (or returns the cached result of) @p config. */
+    static const SimMetrics &run(const SimConfig &config);
+
+    /** Runs @p config and its FDIP-only twin; computes paired metrics. */
+    static RunPair runPair(const SimConfig &config);
+
+    /** Serializes every field that affects the simulation outcome. */
+    static std::string configKey(const SimConfig &config);
+
+    /** Number of distinct simulations performed so far. */
+    static std::size_t simulationsRun();
+};
+
+/** A SimConfig with the paper's Table 1 defaults for @p workload. */
+SimConfig defaultConfig(const std::string &workload,
+                        PrefetcherKind kind = PrefetcherKind::None);
+
+} // namespace hp
+
+#endif // HP_SIM_RUNNER_HH

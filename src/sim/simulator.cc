@@ -1,0 +1,427 @@
+#include "sim/simulator.hh"
+
+#include <algorithm>
+
+#include "util/hash.hh"
+#include "util/logging.hh"
+
+namespace hp
+{
+
+const char *
+prefetcherName(PrefetcherKind kind)
+{
+    switch (kind) {
+      case PrefetcherKind::None: return "FDIP";
+      case PrefetcherKind::EFetch: return "EFetch";
+      case PrefetcherKind::Mana: return "MANA";
+      case PrefetcherKind::Eip: return "EIP";
+      case PrefetcherKind::Rdip: return "RDIP";
+      case PrefetcherKind::Hierarchical: return "Hierarchical";
+      case PrefetcherKind::PerfectL1I: return "PerfectL1I";
+    }
+    return "?";
+}
+
+std::unique_ptr<Prefetcher>
+makePrefetcher(const SimConfig &config, MetadataMemory &memory)
+{
+    switch (config.prefetcher) {
+      case PrefetcherKind::EFetch:
+        return std::make_unique<EFetch>(config.efetch);
+      case PrefetcherKind::Mana:
+        return std::make_unique<Mana>(config.mana);
+      case PrefetcherKind::Eip:
+        return std::make_unique<Eip>(config.eip);
+      case PrefetcherKind::Rdip:
+        return std::make_unique<Rdip>(config.rdip);
+      case PrefetcherKind::Hierarchical:
+        return std::make_unique<HierarchicalPrefetcher>(config.hier,
+                                                        memory);
+      case PrefetcherKind::None:
+      case PrefetcherKind::PerfectL1I:
+        return nullptr;
+    }
+    return nullptr;
+}
+
+Simulator::Simulator(const SimConfig &config)
+    : cfg_(config),
+      profile_(&appProfile(config.workload)),
+      app_(ProgramBuilder::cached(*profile_)),
+      engine_(std::make_unique<RequestEngine>(app_, *profile_)),
+      hier_(config.mem),
+      btb_(config.btbEntries, config.btbWays),
+      ras_(config.rasDepth)
+{
+    perfect_ = cfg_.prefetcher == PrefetcherKind::PerfectL1I;
+    pf_ = makePrefetcher(cfg_, hier_);
+    hierPf_ = dynamic_cast<HierarchicalPrefetcher *>(pf_.get());
+    if (cfg_.trackReuse)
+        reuseHist_ = std::make_unique<Histogram>(64.0, 4096);
+}
+
+void
+Simulator::ensureWindow(std::uint64_t up_to_seq)
+{
+    while (windowBase_ + window_.size() <= up_to_seq) {
+        WinInst wi;
+        bool ok = engine_->next(wi.inst);
+        panicIf(!ok, "workload stream ended unexpectedly");
+        window_.push_back(std::move(wi));
+    }
+}
+
+Simulator::WinInst &
+Simulator::at(std::uint64_t seq)
+{
+    ensureWindow(seq);
+    return window_[seq - windowBase_];
+}
+
+void
+Simulator::stepPredict()
+{
+    for (unsigned pushes = 0; pushes < cfg_.bpBlocksPerCycle; ++pushes) {
+        if (feBlock_ != FeBlock::None)
+            return;
+        if (ftq_.size() >= cfg_.ftqEntries)
+            return;
+
+        // Build one fetch block: consecutive instructions in the same
+        // cache block, ending at a taken control transfer.
+        std::uint64_t seq = bpSeq_;
+        Addr block = blockAlign(at(seq).inst.pc);
+        std::uint64_t end = seq;
+        FeBlock blocker = FeBlock::None;
+
+        while (true) {
+            const DynInst &inst = at(end).inst;
+            if (blockAlign(inst.pc) != block)
+                break;
+            ++end;
+
+            if (!isControl(inst.kind))
+                continue;
+
+            switch (inst.kind) {
+              case InstKind::CondBranch: {
+                bool predicted = condPred_.predict(inst.pc);
+                condPred_.update(inst.pc, inst.taken);
+                if (predicted != inst.taken) {
+                    blocker = FeBlock::Mispredict;
+                } else if (inst.taken) {
+                    if (!btb_.lookup(inst.pc))
+                        blocker = FeBlock::BtbMiss;
+                }
+                break;
+              }
+              case InstKind::Jump:
+              case InstKind::Call: {
+                if (inst.kind == InstKind::Call)
+                    ras_.push(inst.nextPc());
+                if (!btb_.lookup(inst.pc))
+                    blocker = FeBlock::BtbMiss;
+                break;
+              }
+              case InstKind::IndirectJump:
+              case InstKind::IndirectCall: {
+                if (inst.kind == InstKind::IndirectCall)
+                    ras_.push(inst.nextPc());
+                Addr predicted = indirectPred_.predict(inst.pc);
+                indirectPred_.update(inst.pc, inst.target);
+                if (predicted != inst.target)
+                    blocker = FeBlock::Mispredict;
+                break;
+              }
+              case InstKind::Return: {
+                Addr predicted = ras_.pop();
+                if (predicted != inst.target) {
+                    blocker = FeBlock::Mispredict;
+                    ++rasMispredicts_;
+                }
+                break;
+              }
+              default:
+                break;
+            }
+
+            // Any taken transfer ends the fetch block; a blocker stalls
+            // the prediction unit at this instruction.
+            if (blocker != FeBlock::None || (inst.taken))
+                break;
+        }
+
+        FtqEntry entry;
+        entry.block = block;
+        entry.startSeq = seq;
+        entry.endSeq = end;
+        ftq_.push_back(entry);
+        bpSeq_ = end;
+
+        // FDIP: prefetch the new FTQ block.
+        if (!perfect_) {
+            hier_.prefetch(block, Origin::Fdip, cycle_);
+            if (pf_)
+                pf_->onFdipPrefetch(block, cycle_);
+        }
+
+        if (blocker != FeBlock::None) {
+            feBlock_ = blocker;
+            feBlockSeq_ = end - 1;
+            feResumeScheduled_ = false;
+            return;
+        }
+    }
+}
+
+void
+Simulator::stepExtPrefetch()
+{
+    if (!pf_)
+        return;
+    pf_->tick(cycle_);
+    Addr block;
+    for (unsigned i = 0; i < cfg_.extPrefetchesPerCycle; ++i) {
+        // Back-pressure: keep requests queued while the MSHRs are
+        // saturated instead of dropping them.
+        if (hier_.freeMshrs() <= cfg_.mem.mshrsReservedForDemand)
+            return;
+        if (!pf_->popRequest(block))
+            return;
+        hier_.prefetch(block, Origin::Ext, cycle_,
+                       cfg_.extPrefetchToL2);
+    }
+}
+
+void
+Simulator::stepFetch()
+{
+    if (cycle_ < fetchStalledUntil_)
+        return;
+
+    unsigned budget = cfg_.fetchBytesPerCycle / kInstBytes;
+    while (budget > 0) {
+        if (ftq_.empty())
+            return;
+        // ROB occupancy limit.
+        if (fetchSeq_ - windowBase_ >= cfg_.robEntries)
+            return;
+
+        FtqEntry &entry = ftq_.front();
+
+        if (!entry.translated) {
+            hier_.noteFetchBlock();
+            if (!perfect_) {
+                Cycle walk = hier_.itlb().translate(entry.block);
+                entry.translated = true;
+                if (walk > 0) {
+                    fetchStalledUntil_ = cycle_ + walk;
+                    return;
+                }
+            } else {
+                entry.translated = true;
+            }
+        }
+
+        if (!entry.accessed) {
+            if (perfect_) {
+                entry.accessed = true;
+            } else {
+                DemandResult res = hier_.demandAccess(entry.block,
+                                                      cycle_);
+                if (res.retry)
+                    return;
+                entry.accessed = true;
+                if (pf_) {
+                    Cycle lat = res.readyAt > cycle_
+                        ? res.readyAt - cycle_ : 0;
+                    pf_->onDemandAccess(entry.block,
+                                        res.level == ServiceLevel::L1,
+                                        cycle_, lat);
+                }
+                if (cfg_.trackReuse) {
+                    std::uint64_t dist = reuse_.access(entry.block);
+                    if (dist != ReuseDistanceTracker::kColdAccess) {
+                        if (!measuring_) {
+                            reuseHist_->sample(double(dist));
+                        } else if (double(dist) >= longRangeThreshold_) {
+                            ++metrics_.longRangeAccesses;
+                            if (res.level == ServiceLevel::Llc ||
+                                res.level == ServiceLevel::Mem) {
+                                ++metrics_.longRangeL2Misses;
+                            }
+                        }
+                    }
+                }
+                if (res.level != ServiceLevel::L1) {
+                    fetchStalledUntil_ = res.readyAt;
+                    if (measuring_ && res.readyAt > cycle_) {
+                        metrics_.fetchStallCycles +=
+                            res.readyAt - cycle_;
+                    }
+                    return;
+                }
+            }
+        }
+
+        // Consume instructions from this entry.
+        while (budget > 0 && fetchSeq_ < entry.endSeq) {
+            at(fetchSeq_).fetchCycle = cycle_;
+            ++fetchSeq_;
+            --budget;
+        }
+        if (fetchSeq_ >= entry.endSeq) {
+            // Entry exhausted: a BTB-missed branch at its end resumes
+            // the prediction unit after the decode delay.
+            if (feBlock_ == FeBlock::BtbMiss &&
+                feBlockSeq_ == entry.endSeq - 1 && !feResumeScheduled_) {
+                feResumeAt_ = cycle_ + cfg_.btbMissPenalty;
+                feResumeScheduled_ = true;
+            }
+            ftq_.pop_front();
+        }
+    }
+}
+
+void
+Simulator::stepCommit()
+{
+    if (cycle_ < commitBlockedUntil_)
+        return;
+
+    for (unsigned n = 0; n < cfg_.commitWidth; ++n) {
+        if (window_.empty() || windowBase_ >= fetchSeq_)
+            return;
+        WinInst &wi = window_.front();
+        if (wi.fetchCycle == WinInst::kNotFetched ||
+            cycle_ < wi.fetchCycle + cfg_.pipelineDepth) {
+            return;
+        }
+
+        const DynInst inst = wi.inst;
+
+        // Idealized back end: a deterministic slice of instructions
+        // behaves as long-latency (off-core data) and stalls commit.
+        if (cfg_.backendStallPermille > 0 &&
+            (mix64(inst.pc * 0x2545f4914f6cdd1dULL) % 1000) <
+                cfg_.backendStallPermille) {
+            commitBlockedUntil_ = cycle_ + cfg_.backendStallCycles;
+            if (measuring_)
+                metrics_.backendStallCycles += cfg_.backendStallCycles;
+        }
+
+        if (pf_)
+            pf_->onCommit(inst, cycle_);
+
+        bool was_blocking_mispredict =
+            feBlock_ == FeBlock::Mispredict && feBlockSeq_ == windowBase_;
+
+        window_.pop_front();
+        ++windowBase_;
+        ++committed_;
+        if (measuring_)
+            ++metrics_.instructions;
+
+        if (was_blocking_mispredict) {
+            // Flush and resteer: the prediction unit resumes after the
+            // branch; fetch pays the refill penalty.
+            ftq_.clear();
+            bpSeq_ = windowBase_;
+            fetchSeq_ = windowBase_;
+            feBlock_ = FeBlock::None;
+            if (isControl(inst.kind))
+                btb_.update(inst.pc, inst.target);
+            fetchStalledUntil_ = std::max<Cycle>(
+                fetchStalledUntil_, cycle_ + cfg_.mispredictPenalty);
+            return; // commit stops at a flush boundary
+        }
+
+        if (commitBlockedUntil_ > cycle_)
+            return;
+    }
+}
+
+void
+Simulator::beginMeasurement()
+{
+    measuring_ = true;
+    hier_.resetStats();
+    metrics_ = SimMetrics{};
+
+    condBranchesAtWarmup_ = condPred_.predictions();
+    condMispredictsAtWarmup_ = condPred_.mispredicts();
+    indirectMispredictsAtWarmup_ = indirectPred_.mispredicts();
+    btbMissesAtWarmup_ = btb_.misses();
+    rasMispredictsAtWarmup_ = rasMispredicts_;
+    engineAtWarmup_ = engine_->stats();
+
+    if (cfg_.trackReuse)
+        longRangeThreshold_ = reuseHist_->percentile(
+            cfg_.longRangePercentile);
+}
+
+SimMetrics
+Simulator::run()
+{
+    const std::uint64_t total = cfg_.warmupInsts + cfg_.measureInsts;
+    Cycle measure_start_cycle = 0;
+
+    while (committed_ < total) {
+        hier_.tick(cycle_);
+        stepPredict();
+        stepExtPrefetch();
+        stepFetch();
+        // BTB-miss resume.
+        if (feBlock_ == FeBlock::BtbMiss && feResumeScheduled_ &&
+            cycle_ >= feResumeAt_) {
+            const DynInst &inst = at(feBlockSeq_).inst;
+            btb_.update(inst.pc, inst.target);
+            feBlock_ = FeBlock::None;
+        }
+        stepCommit();
+
+        if (!measuring_ && committed_ >= cfg_.warmupInsts) {
+            beginMeasurement();
+            measure_start_cycle = cycle_;
+        }
+        ++cycle_;
+    }
+
+    metrics_.cycles = cycle_ - measure_start_cycle;
+    metrics_.mem = hier_.stats();
+    metrics_.itlbAccesses = hier_.itlb().accesses();
+    metrics_.itlbMisses = hier_.itlb().misses();
+    metrics_.condBranches =
+        condPred_.predictions() - condBranchesAtWarmup_;
+    metrics_.condMispredicts =
+        condPred_.mispredicts() - condMispredictsAtWarmup_;
+    metrics_.indirectMispredicts =
+        indirectPred_.mispredicts() - indirectMispredictsAtWarmup_;
+    metrics_.rasMispredicts = rasMispredicts_ - rasMispredictsAtWarmup_;
+    metrics_.btbMissBlocks = btb_.misses() - btbMissesAtWarmup_;
+
+    if (hierPf_) {
+        metrics_.hier = hierPf_->stats();
+        metrics_.hierActive = true;
+    }
+
+    const EngineStats &eng = engine_->stats();
+    metrics_.engine.instructions =
+        eng.instructions - engineAtWarmup_.instructions;
+    metrics_.engine.requests = eng.requests - engineAtWarmup_.requests;
+    metrics_.engine.calls = eng.calls - engineAtWarmup_.calls;
+    metrics_.engine.returns = eng.returns - engineAtWarmup_.returns;
+    metrics_.engine.condBranches =
+        eng.condBranches - engineAtWarmup_.condBranches;
+    metrics_.engine.taggedInsts =
+        eng.taggedInsts - engineAtWarmup_.taggedInsts;
+
+    metrics_.dataDramBytes = static_cast<std::uint64_t>(
+        double(metrics_.instructions) / 1000.0 *
+        profile_->dataDramBytesPerKiloInst);
+
+    return metrics_;
+}
+
+} // namespace hp

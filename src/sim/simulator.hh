@@ -1,0 +1,143 @@
+/**
+ * @file
+ * The cycle-level front-end simulator.
+ *
+ * The modeled core has a decoupled FDIP front end: a branch-prediction
+ * unit walks ahead of fetch along the program path, pushing fetch
+ * blocks into the FTQ and prefetching them into the L1-I. Run-ahead is
+ * structurally gated — a BTB miss on a taken branch stalls prediction
+ * until the branch is fetched and decoded, and a direction/indirect/RAS
+ * mispredict stalls it until the branch commits — reproducing FDIP's
+ * real limitations without simulating wrong-path fetch (see DESIGN.md).
+ * Fetch consumes FTQ blocks through the I-TLB and L1-I; the back end is
+ * an idealized commit stage with a calibrated long-latency stall
+ * component.
+ */
+
+#ifndef HP_SIM_SIMULATOR_HH
+#define HP_SIM_SIMULATOR_HH
+
+#include <deque>
+#include <memory>
+
+#include "cache/reuse_distance.hh"
+#include "frontend/btb.hh"
+#include "frontend/cond_predictor.hh"
+#include "frontend/indirect_predictor.hh"
+#include "frontend/ras.hh"
+#include "sim/config.hh"
+#include "sim/metrics.hh"
+#include "stats/histogram.hh"
+#include "workload/program_builder.hh"
+#include "workload/request_engine.hh"
+
+namespace hp
+{
+
+/** Creates the configured prefetcher (nullptr for None/PerfectL1I). */
+std::unique_ptr<Prefetcher> makePrefetcher(const SimConfig &config,
+                                           MetadataMemory &memory);
+
+/** One single-core simulation. */
+class Simulator
+{
+  public:
+    explicit Simulator(const SimConfig &config);
+
+    /**
+     * Runs warmup + measurement and returns the measured metrics.
+     * A Simulator instance is single-use.
+     */
+    SimMetrics run();
+
+    /** The built application (for inspection by examples/tests). */
+    const BuiltApp &app() const { return *app_; }
+
+  private:
+    struct WinInst
+    {
+        DynInst inst;
+        Cycle fetchCycle = kNotFetched;
+
+        static constexpr Cycle kNotFetched = ~Cycle(0);
+    };
+
+    struct FtqEntry
+    {
+        Addr block = 0;
+        std::uint64_t startSeq = 0;
+        std::uint64_t endSeq = 0; // exclusive
+        bool translated = false;
+        bool accessed = false;
+    };
+
+    enum class FeBlock : std::uint8_t
+    {
+        None,
+        BtbMiss,    ///< Resolved at fetch + decode of the branch.
+        Mispredict, ///< Resolved at commit of the branch.
+    };
+
+    void ensureWindow(std::uint64_t up_to_seq);
+    WinInst &at(std::uint64_t seq);
+
+    void stepPredict();
+    void stepExtPrefetch();
+    void stepFetch();
+    void stepCommit();
+    void beginMeasurement();
+
+    SimConfig cfg_;
+    const AppProfile *profile_;
+    std::shared_ptr<const BuiltApp> app_;
+    std::unique_ptr<RequestEngine> engine_;
+
+    CacheHierarchy hier_;
+    Btb btb_;
+    CondPredictor condPred_;
+    IndirectPredictor indirectPred_;
+    Ras ras_;
+    std::unique_ptr<Prefetcher> pf_;
+    HierarchicalPrefetcher *hierPf_ = nullptr;
+
+    bool perfect_ = false;
+
+    Cycle cycle_ = 0;
+
+    std::deque<WinInst> window_;
+    std::uint64_t windowBase_ = 0; ///< Seq of window_.front().
+    std::uint64_t bpSeq_ = 0;      ///< Next inst for the BP unit.
+    std::uint64_t fetchSeq_ = 0;   ///< Next inst for fetch.
+
+    std::deque<FtqEntry> ftq_;
+
+    FeBlock feBlock_ = FeBlock::None;
+    std::uint64_t feBlockSeq_ = 0;
+    Cycle feResumeAt_ = 0;
+    bool feResumeScheduled_ = false;
+
+    Cycle fetchStalledUntil_ = 0;
+    Cycle commitBlockedUntil_ = 0;
+
+    std::uint64_t committed_ = 0;
+    bool measuring_ = false;
+
+    // Reuse-distance probe (Figure 12).
+    ReuseDistanceTracker reuse_;
+    std::unique_ptr<Histogram> reuseHist_;
+    double longRangeThreshold_ = 0.0;
+
+    // Measurement-phase counters.
+    SimMetrics metrics_;
+    std::uint64_t condMispredictsAtWarmup_ = 0;
+    std::uint64_t condBranchesAtWarmup_ = 0;
+    std::uint64_t indirectMispredictsAtWarmup_ = 0;
+    std::uint64_t btbMissesAtWarmup_ = 0;
+    std::uint64_t rasMispredicts_ = 0;
+    std::uint64_t rasMispredictsAtWarmup_ = 0;
+    EngineStats engineAtWarmup_;
+};
+
+} // namespace hp
+
+#endif // HP_SIM_SIMULATOR_HH

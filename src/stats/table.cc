@@ -1,0 +1,135 @@
+#include "stats/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace hp
+{
+
+AsciiTable::AsciiTable(std::string title)
+    : title_(std::move(title))
+{}
+
+void
+AsciiTable::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+AsciiTable::addRow(std::vector<std::string> row)
+{
+    panicIf(!header_.empty() && row.size() != header_.size(),
+            "AsciiTable row width does not match the header");
+    rows_.push_back(std::move(row));
+}
+
+std::string
+AsciiTable::render() const
+{
+    std::vector<std::size_t> widths(header_.size(), 0);
+    auto widen = [&widths](const std::vector<std::string> &row) {
+        if (widths.size() < row.size())
+            widths.resize(row.size(), 0);
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    };
+    widen(header_);
+    for (const auto &row : rows_)
+        widen(row);
+
+    std::ostringstream out;
+    if (!title_.empty())
+        out << title_ << '\n';
+
+    auto emitRow = [&out, &widths](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out << (c == 0 ? "| " : " | ");
+            out << row[c];
+            out << std::string(widths[c] - row[c].size(), ' ');
+        }
+        out << " |\n";
+    };
+
+    auto emitRule = [&out, &widths]() {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            out << (c == 0 ? "|-" : "-|-");
+            out << std::string(widths[c], '-');
+        }
+        out << "-|\n";
+    };
+
+    if (!header_.empty()) {
+        emitRow(header_);
+        emitRule();
+    }
+    for (const auto &row : rows_)
+        emitRow(row);
+    return out.str();
+}
+
+std::string
+AsciiTable::renderCsv() const
+{
+    std::ostringstream out;
+    auto emit = [&out](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                out << ',';
+            bool quote = row[c].find_first_of(",\"\n") != std::string::npos;
+            if (quote) {
+                out << '"';
+                for (char ch : row[c]) {
+                    if (ch == '"')
+                        out << '"';
+                    out << ch;
+                }
+                out << '"';
+            } else {
+                out << row[c];
+            }
+        }
+        out << '\n';
+    };
+    if (!header_.empty())
+        emit(header_);
+    for (const auto &row : rows_)
+        emit(row);
+    return out.str();
+}
+
+std::string
+fmtDouble(double value, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return buf;
+}
+
+std::string
+fmtPercent(double fraction, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);
+    return buf;
+}
+
+std::string
+fmtBytes(double bytes, int decimals)
+{
+    char buf[64];
+    if (bytes >= 1024.0 * 1024.0) {
+        std::snprintf(buf, sizeof(buf), "%.*fMB", decimals,
+                      bytes / (1024.0 * 1024.0));
+    } else if (bytes >= 1024.0) {
+        std::snprintf(buf, sizeof(buf), "%.*fKB", decimals, bytes / 1024.0);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.*fB", decimals, bytes);
+    }
+    return buf;
+}
+
+} // namespace hp

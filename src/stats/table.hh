@@ -1,0 +1,53 @@
+/**
+ * @file
+ * ASCII table and CSV rendering used by the benchmark harnesses to print
+ * the rows/series of each paper table and figure.
+ */
+
+#ifndef HP_STATS_TABLE_HH
+#define HP_STATS_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace hp
+{
+
+/** A simple column-aligned ASCII table with an optional title. */
+class AsciiTable
+{
+  public:
+    explicit AsciiTable(std::string title = "");
+
+    /** Sets the header row. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Appends a data row (cells are pre-formatted strings). */
+    void addRow(std::vector<std::string> row);
+
+    /** Renders the table with aligned columns and separators. */
+    std::string render() const;
+
+    /** Renders as CSV (header first, comma-separated, quoted as needed). */
+    std::string renderCsv() const;
+
+    std::size_t numRows() const { return rows_.size(); }
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Formats a double with @p decimals decimal places. */
+std::string fmtDouble(double value, int decimals = 2);
+
+/** Formats a fraction as a percentage string, e.g. 0.066 -> "6.6%". */
+std::string fmtPercent(double fraction, int decimals = 1);
+
+/** Formats a byte count using KB/MB units, e.g. 524288 -> "512.0KB". */
+std::string fmtBytes(double bytes, int decimals = 1);
+
+} // namespace hp
+
+#endif // HP_STATS_TABLE_HH

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Dynamic bit vector used for reachable-set propagation in the Bundle
+ * analysis and for footprint sets in the evaluation probes.
+ */
+
+#ifndef HP_UTIL_BITVEC_HH
+#define HP_UTIL_BITVEC_HH
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hp
+{
+
+/** A fixed-capacity dynamic bit vector with set-algebra operations. */
+class BitVec
+{
+  public:
+    BitVec() = default;
+
+    explicit BitVec(std::size_t bits)
+        : bits_(bits), words_((bits + 63) / 64, 0)
+    {}
+
+    std::size_t size() const { return bits_; }
+
+    void
+    set(std::size_t i)
+    {
+        words_[i >> 6] |= 1ULL << (i & 63);
+    }
+
+    void
+    reset(std::size_t i)
+    {
+        words_[i >> 6] &= ~(1ULL << (i & 63));
+    }
+
+    bool
+    test(std::size_t i) const
+    {
+        return (words_[i >> 6] >> (i & 63)) & 1;
+    }
+
+    /** In-place union; both vectors must have the same capacity. */
+    void
+    orWith(const BitVec &other)
+    {
+        for (std::size_t w = 0; w < words_.size(); ++w)
+            words_[w] |= other.words_[w];
+    }
+
+    /** Number of set bits. */
+    std::size_t
+    count() const
+    {
+        std::size_t total = 0;
+        for (std::uint64_t word : words_)
+            total += static_cast<std::size_t>(std::popcount(word));
+        return total;
+    }
+
+    /** Number of set bits in the intersection with @p other. */
+    std::size_t
+    intersectCount(const BitVec &other) const
+    {
+        std::size_t total = 0;
+        for (std::size_t w = 0; w < words_.size(); ++w) {
+            total += static_cast<std::size_t>(
+                std::popcount(words_[w] & other.words_[w]));
+        }
+        return total;
+    }
+
+    void
+    clear()
+    {
+        for (auto &word : words_)
+            word = 0;
+    }
+
+    bool operator==(const BitVec &other) const = default;
+
+  private:
+    std::size_t bits_ = 0;
+    std::vector<std::uint64_t> words_;
+};
+
+} // namespace hp
+
+#endif // HP_UTIL_BITVEC_HH

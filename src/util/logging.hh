@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic() flags an internal invariant violation (a bug in this library)
+ * and aborts; fatal() flags a user error (bad configuration) and exits
+ * cleanly; warn() prints a diagnostic and continues.
+ */
+
+#ifndef HP_UTIL_LOGGING_HH
+#define HP_UTIL_LOGGING_HH
+
+#include <string>
+
+namespace hp
+{
+
+/** Aborts with a message; use for internal invariant violations. */
+[[noreturn]] void panic(const std::string &msg);
+
+/** Exits with an error code; use for user/configuration errors. */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Prints a warning to stderr and continues. */
+void warn(const std::string &msg);
+
+/**
+ * Checks an invariant that must hold regardless of user input.
+ * Unlike assert(), stays active in release builds.
+ */
+inline void
+panicIf(bool condition, const std::string &msg)
+{
+    if (condition)
+        panic(msg);
+}
+
+/** Checks a user-facing precondition (configuration validity etc.). */
+inline void
+fatalIf(bool condition, const std::string &msg)
+{
+    if (condition)
+        fatal(msg);
+}
+
+} // namespace hp
+
+#endif // HP_UTIL_LOGGING_HH

@@ -1,0 +1,135 @@
+#include "util/rng.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace hp
+{
+
+namespace
+{
+
+std::uint64_t
+splitMix64(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    // xoshiro256** must not be seeded with an all-zero state; SplitMix64
+    // never produces four consecutive zeros.
+    std::uint64_t sm = seed;
+    for (auto &word : s_)
+        word = splitMix64(sm);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::nextUint(std::uint64_t bound)
+{
+    panicIf(bound == 0, "Rng::nextUint with zero bound");
+    // Lemire-style bounded draw without modulo bias (rejection variant).
+    std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+        std::uint64_t raw = next();
+        if (raw >= threshold)
+            return raw % bound;
+    }
+}
+
+std::int64_t
+Rng::nextRange(std::int64_t lo, std::int64_t hi)
+{
+    panicIf(lo > hi, "Rng::nextRange with lo > hi");
+    return lo + static_cast<std::int64_t>(
+        nextUint(static_cast<std::uint64_t>(hi - lo) + 1));
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return nextDouble() < p;
+}
+
+std::uint64_t
+Rng::nextSkewed(std::uint64_t lo, std::uint64_t hi)
+{
+    panicIf(lo > hi, "Rng::nextSkewed with lo > hi");
+    if (lo == hi)
+        return lo;
+    // Exponentially distributed offset, clamped into the range. The
+    // scale is 1/4 of the span so the tail reaches hi but is rare.
+    double span = static_cast<double>(hi - lo);
+    double draw = -std::log(1.0 - nextDouble()) * (span / 4.0);
+    double clamped = std::min(draw, span);
+    return lo + static_cast<std::uint64_t>(clamped);
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(next());
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double theta)
+{
+    fatalIf(n == 0, "ZipfSampler over an empty domain");
+    cdf_.resize(n);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+        cdf_[i] = sum;
+    }
+    for (auto &value : cdf_)
+        value /= sum;
+}
+
+std::size_t
+ZipfSampler::sample(Rng &rng) const
+{
+    double u = rng.nextDouble();
+    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    if (it == cdf_.end())
+        return cdf_.size() - 1;
+    return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+} // namespace hp

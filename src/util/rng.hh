@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Deterministic random number generation.
+ *
+ * Every stochastic decision in the library (program construction,
+ * request mixes, intra-functionality jitter) draws from an explicitly
+ * seeded Rng so that a given configuration always produces the same
+ * statistics. The generator is xoshiro256**, seeded via SplitMix64.
+ */
+
+#ifndef HP_UTIL_RNG_HH
+#define HP_UTIL_RNG_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace hp
+{
+
+/** Deterministic xoshiro256** generator with distribution helpers. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 1);
+
+    /** Returns the next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound); bound must be > 0. */
+    std::uint64_t nextUint(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t nextRange(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli trial with probability @p p of returning true. */
+    bool nextBool(double p);
+
+    /**
+     * Geometric-ish body length: returns a value in [lo, hi] with an
+     * exponential bias toward lo, matching the long-tailed function
+     * size distributions seen in real server binaries.
+     */
+    std::uint64_t nextSkewed(std::uint64_t lo, std::uint64_t hi);
+
+    /** Derives an independent child generator (for nested builders). */
+    Rng fork();
+
+  private:
+    std::uint64_t s_[4];
+};
+
+/**
+ * Zipfian sampler over [0, n). Used for request-type popularity, which
+ * in real server workloads is strongly skewed.
+ */
+class ZipfSampler
+{
+  public:
+    /**
+     * @param n     Number of items.
+     * @param theta Skew (0 = uniform; ~0.99 = typical YCSB skew).
+     */
+    ZipfSampler(std::size_t n, double theta);
+
+    /** Draws an item index in [0, n). */
+    std::size_t sample(Rng &rng) const;
+
+    std::size_t size() const { return cdf_.size(); }
+
+  private:
+    std::vector<double> cdf_;
+};
+
+} // namespace hp
+
+#endif // HP_UTIL_RNG_HH

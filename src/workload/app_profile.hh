@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Workload profiles for the 11 server applications of the evaluation.
+ *
+ * Real traces of beego/caddy/dgraph/... are not available here, so each
+ * application is modeled by a profile that drives both the synthetic
+ * program builder (static shape: function counts and sizes, stage and
+ * routine structure, cold library code) and the request engine (dynamic
+ * shape: request mix, loop trip counts, control-flow jitter). Profiles
+ * are calibrated so the derived statistics land near the paper's
+ * Table 4 (scaled ~10x down in function count; see EXPERIMENTS.md).
+ */
+
+#ifndef HP_WORKLOAD_APP_PROFILE_HH
+#define HP_WORKLOAD_APP_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hp
+{
+
+/** Static and dynamic shape of one server application + benchmark. */
+struct AppProfile
+{
+    /** Workload name, e.g. "tidb-tpcc". */
+    std::string name;
+
+    /** Binary name, e.g. "tidb" (several workloads share a binary). */
+    std::string binary;
+
+    /** Seed for program construction (per binary, not per workload). */
+    std::uint64_t binarySeed = 1;
+
+    /** Seed for the request stream (per workload). */
+    std::uint64_t requestSeed = 1;
+
+    // ---- Static structure (program builder) ----
+
+    /** Pipeline stages per request (cf. Figure 1: Read..Finish). */
+    unsigned numStages = 5;
+
+    /** Alternative functionality routines per stage. */
+    std::vector<unsigned> routinesPerStage;
+
+    /** Dedicated functions in one routine's hot call tree. */
+    unsigned funcsPerRoutine = 40;
+
+    /** Shared runtime/utility pool size (allocator, codec, logging). */
+    unsigned sharedUtilFuncs = 300;
+
+    /** Utility functions one routine links against. */
+    unsigned utilsPerRoutine = 60;
+
+    /** Cold library packages (static-only code, for the call graph). */
+    unsigned coldLibraries = 40;
+
+    /** Function body size range in instructions (skewed draw). */
+    unsigned funcInstsMin = 40;
+    unsigned funcInstsMax = 1600;
+
+    /** Feature subtrees per cold library (each a divergence branch). */
+    unsigned featuresPerColdLibrary = 4;
+
+    /** Functions per cold-library feature subtree. */
+    unsigned funcsPerColdFeature = 26;
+
+    /** Local utility-pool functions per cold library. */
+    unsigned coldPoolFuncs = 56;
+
+    // ---- Dynamic behaviour (request engine) ----
+
+    /** Distinct request types. */
+    unsigned requestTypes = 12;
+
+    /** Zipf skew of the request-type mix. */
+    double typeZipfTheta = 0.9;
+
+    /** Row-processing loop trips in the heavy stages (min..max). */
+    unsigned rowsMin = 4;
+    unsigned rowsMax = 16;
+
+    /** Percent chance a biased branch flips per evaluation. */
+    unsigned branchJitter = 4;
+
+    /** Percent chance a conditional call-site decision flips. */
+    unsigned callJitter = 4;
+
+    /**
+     * Percent of decision sites whose stable outcome depends on the
+     * request type (the rest are stable across all executions of the
+     * containing functionality). Higher values reduce Bundle footprint
+     * similarity across executions — databases (tidb, mysql) are far
+     * more type-sensitive than web-framework request handlers.
+     */
+    unsigned typeSensitivePercent = 8;
+
+    /**
+     * Percent chance, at each stage boundary, that an OS/kernel noise
+     * routine (timer, network poll) runs — fine-grained interleaving
+     * noise for the temporal prefetchers (0 = none).
+     */
+    unsigned irqProbPercent = 35;
+
+    /** Synthetic data-side DRAM traffic (bytes per kilo-instruction),
+     *  used only to normalize the Figure 16 bandwidth overhead. */
+    double dataDramBytesPerKiloInst = 400.0;
+};
+
+/** Returns the profile for workload @p name; fatals if unknown. */
+const AppProfile &appProfile(const std::string &name);
+
+/** All 11 workload names, in the paper's order. */
+const std::vector<std::string> &allWorkloads();
+
+/** The 8 distinct binaries (for the Table 4 rows). */
+const std::vector<std::string> &allBinaries();
+
+/** A representative workload per binary (Table 4 statistics). */
+const std::string &workloadForBinary(const std::string &binary);
+
+} // namespace hp
+
+#endif // HP_WORKLOAD_APP_PROFILE_HH

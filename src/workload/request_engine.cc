@@ -1,0 +1,234 @@
+#include "workload/request_engine.hh"
+
+#include <algorithm>
+
+#include "util/hash.hh"
+#include "util/logging.hh"
+
+namespace hp
+{
+
+RequestEngine::RequestEngine(std::shared_ptr<const BuiltApp> app,
+                             const AppProfile &profile)
+    : app_(std::move(app)),
+      profile_(profile),
+      rng_(profile.requestSeed),
+      typeSampler_(profile.requestTypes, profile.typeZipfTheta)
+{
+    fatalIf(app_ == nullptr, "RequestEngine needs a built app");
+    for (std::size_t s = 0; s < app_->dispatchers.size(); ++s) {
+        dispatcherStage_[app_->dispatchers[s]] =
+            static_cast<std::uint16_t>(s);
+    }
+}
+
+void
+RequestEngine::pushFrame(FuncId func, Addr return_addr)
+{
+    Frame frame;
+    frame.func = func;
+    frame.returnAddr = return_addr;
+    frames_.push_back(std::move(frame));
+
+    auto it = dispatcherStage_.find(func);
+    if (it != dispatcherStage_.end()) {
+        pendingMarker_ = StreamMarker::StageBegin;
+        pendingMarkerArg_ = it->second;
+    }
+}
+
+void
+RequestEngine::startRequest()
+{
+    requestType_ = static_cast<unsigned>(typeSampler_.sample(rng_));
+    ++stats_.requests;
+    pushFrame(app_->requestDriver, 0);
+    pendingMarker_ = StreamMarker::RequestBegin;
+    pendingMarkerArg_ = static_cast<std::uint16_t>(requestType_);
+}
+
+bool
+RequestEngine::decide(Addr pc, unsigned bias, unsigned jitter)
+{
+    // Most sites have an outcome stable across every execution of the
+    // containing functionality; a profile-controlled fraction also
+    // depends on the request type (e.g. insert vs update paths inside
+    // shared code). A small per-evaluation jitter injects the paper's
+    // intra-Bundle control-flow variation.
+    std::uint64_t salt = 0;
+    if ((mix64(pc * 0x5851f42d4c957f2dULL) % 100) <
+        profile_.typeSensitivePercent) {
+        salt = std::uint64_t(requestType_) + 1;
+    }
+    bool stable =
+        (mix64(pc ^ (salt * 0x9e3779b97f4a7c15ULL)) % 100) < bias;
+    if (jitter > 0 && rng_.nextBool(jitter / 100.0))
+        return !stable;
+    return stable;
+}
+
+void
+RequestEngine::seek(Frame &frame, std::uint32_t slot)
+{
+    const auto &body = app_->program.func(frame.func).body;
+    // Binary search for the op containing `slot`.
+    std::size_t lo = 0, hi = body.size();
+    while (lo + 1 < hi) {
+        std::size_t mid = (lo + hi) / 2;
+        if (body[mid].offset <= slot)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    frame.opIdx = static_cast<std::uint32_t>(lo);
+    frame.intraRun = (body[lo].kind == OpKind::Run)
+        ? slot - body[lo].offset : 0;
+}
+
+bool
+RequestEngine::next(DynInst &inst)
+{
+    if (frames_.empty())
+        startRequest();
+
+    Frame &frame = frames_.back();
+    const Function &fn = app_->program.func(frame.func);
+    const BodyOp &op = fn.body[frame.opIdx];
+
+    inst = DynInst{};
+    inst.func = frame.func;
+    if (pendingMarker_ != StreamMarker::None) {
+        inst.marker = pendingMarker_;
+        inst.markerArg = pendingMarkerArg_;
+        pendingMarker_ = StreamMarker::None;
+    }
+
+    switch (op.kind) {
+      case OpKind::Run: {
+        inst.pc = fn.instAddr(op.offset + frame.intraRun);
+        inst.kind = InstKind::Plain;
+        if (++frame.intraRun >= op.length) {
+            frame.intraRun = 0;
+            ++frame.opIdx;
+        }
+        break;
+      }
+
+      case OpKind::Branch: {
+        Addr pc = fn.instAddr(op.offset);
+        bool taken = decide(pc, op.biasTaken, op.jitter);
+        inst.pc = pc;
+        inst.kind = InstKind::CondBranch;
+        inst.taken = taken;
+        inst.target = fn.instAddr(op.offset + 1 + op.span);
+        ++stats_.condBranches;
+        if (taken)
+            seek(frame, op.offset + 1 + op.span);
+        else
+            ++frame.opIdx;
+        break;
+      }
+
+      case OpKind::Loop: {
+        Addr pc = fn.instAddr(op.offset);
+        auto it = std::find_if(
+            frame.loops.begin(), frame.loops.end(),
+            [&frame](const LoopState &ls) {
+                return ls.opIdx == frame.opIdx;
+            });
+        if (it == frame.loops.end()) {
+            // First arrival: trip counts are stable per site (data
+            // structures have characteristic sizes), deviating only
+            // occasionally — so loop exits are learnable by TAGE, as
+            // in real code.
+            std::uint16_t mean = std::max<std::uint16_t>(op.meanIter, 1);
+            std::uint32_t lo = std::max<std::uint32_t>(1,
+                mean - mean / 3);
+            std::uint32_t hi = mean + mean / 3;
+            std::uint32_t span_i = hi - lo + 1;
+            std::uint32_t trips = lo + static_cast<std::uint32_t>(
+                mix64(pc * 0x9e3779b97f4a7c15ULL) % span_i);
+            if (rng_.nextBool(0.10)) {
+                trips += (rng_.nextBool(0.5) && trips > lo) ? -1 : 1;
+            }
+            LoopState ls;
+            ls.opIdx = frame.opIdx;
+            ls.remaining = static_cast<std::uint16_t>(trips);
+            frame.loops.push_back(ls);
+            it = frame.loops.end() - 1;
+        }
+        inst.pc = pc;
+        inst.kind = InstKind::CondBranch;
+        inst.target = fn.instAddr(op.offset - op.span);
+        ++stats_.condBranches;
+        if (it->remaining > 0) {
+            --it->remaining;
+            inst.taken = true;
+            seek(frame, op.offset - op.span);
+        } else {
+            inst.taken = false;
+            frame.loops.erase(it);
+            ++frame.opIdx;
+        }
+        break;
+      }
+
+      case OpKind::CallSite: {
+        Addr pc = fn.instAddr(op.offset);
+        bool execute = decide(pc, op.execProb, op.execJitter) &&
+                       frames_.size() < kMaxDepth;
+        ++frame.opIdx;
+        if (!execute) {
+            // The guard skipped the call; the slot still executes as a
+            // (not-taken) test instruction.
+            inst.pc = pc;
+            inst.kind = InstKind::Plain;
+            break;
+        }
+        const auto &candidates = fn.targets[op.targetIdx].candidates;
+        std::size_t pick = 0;
+        if (candidates.size() > 1) {
+            pick = static_cast<std::size_t>(
+                mix64(pc ^ (std::uint64_t(requestType_) *
+                            0xc2b2ae3d27d4eb4fULL)) %
+                candidates.size());
+        }
+        FuncId callee = candidates[pick];
+        inst.pc = pc;
+        inst.kind = op.indirect ? InstKind::IndirectCall : InstKind::Call;
+        inst.taken = true;
+        inst.target = app_->program.func(callee).addr;
+        inst.tagged = app_->image.tags.isTagged(pc);
+        ++stats_.calls;
+        if (inst.tagged)
+            ++stats_.taggedInsts;
+        pushFrame(callee, pc + kInstBytes);
+        break;
+      }
+
+      case OpKind::Ret: {
+        Addr pc = fn.instAddr(op.offset);
+        inst.pc = pc;
+        inst.kind = InstKind::Return;
+        inst.taken = true;
+        inst.target = frame.returnAddr;
+        inst.tagged = app_->image.tags.isTagged(pc);
+        ++stats_.returns;
+        if (inst.tagged)
+            ++stats_.taggedInsts;
+        frames_.pop_back();
+        if (frames_.empty()) {
+            // Request complete; target of the final return is the
+            // next request's first instruction. Patch it to the
+            // driver entry so control flow stays well-formed.
+            inst.target = app_->program.func(app_->requestDriver).addr;
+        }
+        break;
+      }
+    }
+
+    ++stats_.instructions;
+    return true;
+}
+
+} // namespace hp

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The request engine: interprets a built application's function bodies
+ * to produce the dynamic instruction stream the simulator consumes.
+ *
+ * Requests draw a type from a Zipfian mix; each request walks the
+ * request driver through every stage dispatcher, which diverges into
+ * the routine selected by the request type. Branch directions and
+ * conditional-call decisions are *stable per (site, request type)* with
+ * a small per-evaluation jitter — giving each functionality the stable
+ * instruction footprint with bounded variation that the paper observes
+ * (Jaccard > 0.8 between consecutive executions of a Bundle).
+ */
+
+#ifndef HP_WORKLOAD_REQUEST_ENGINE_HH
+#define HP_WORKLOAD_REQUEST_ENGINE_HH
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/inst.hh"
+#include "util/rng.hh"
+#include "workload/program_builder.hh"
+
+namespace hp
+{
+
+/** Statistics the engine can report about the emitted stream. */
+struct EngineStats
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t requests = 0;
+    std::uint64_t calls = 0;
+    std::uint64_t returns = 0;
+    std::uint64_t condBranches = 0;
+    std::uint64_t taggedInsts = 0;
+};
+
+/** Interprets a BuiltApp as an infinite instruction stream. */
+class RequestEngine : public InstStream
+{
+  public:
+    /**
+     * @param app     The built (linked + tagged) application.
+     * @param profile Workload profile (request mix and jitter; may be a
+     *                different workload than the one that built the
+     *                binary, e.g. tidb-tpcc vs tidb-sysbench).
+     */
+    RequestEngine(std::shared_ptr<const BuiltApp> app,
+                  const AppProfile &profile);
+
+    /** Emits the next instruction; the stream never ends. */
+    bool next(DynInst &inst) override;
+
+    const EngineStats &stats() const { return stats_; }
+
+    /** Request type of the request currently executing. */
+    unsigned currentType() const { return requestType_; }
+
+  private:
+    struct LoopState
+    {
+        std::uint32_t opIdx = 0;
+        std::uint16_t remaining = 0;
+    };
+
+    struct Frame
+    {
+        FuncId func = kNoFunc;
+        std::uint32_t opIdx = 0;
+        std::uint32_t intraRun = 0;
+        Addr returnAddr = 0;
+        /** Active loops in this frame (rarely more than one). */
+        std::vector<LoopState> loops;
+    };
+
+    void startRequest();
+    void pushFrame(FuncId func, Addr return_addr);
+
+    /** Stable per-(site, type) decision with per-evaluation jitter. */
+    bool decide(Addr pc, unsigned bias, unsigned jitter);
+
+    /** Jumps the top frame's cursor to instruction slot @p slot. */
+    void seek(Frame &frame, std::uint32_t slot);
+
+    std::shared_ptr<const BuiltApp> app_;
+    const AppProfile &profile_;
+    Rng rng_;
+    ZipfSampler typeSampler_;
+
+    std::vector<Frame> frames_;
+    unsigned requestType_ = 0;
+
+    StreamMarker pendingMarker_ = StreamMarker::None;
+    std::uint16_t pendingMarkerArg_ = 0;
+
+    /** Dispatcher func -> stage index (for StageBegin markers). */
+    std::unordered_map<FuncId, std::uint16_t> dispatcherStage_;
+
+    EngineStats stats_;
+
+    static constexpr std::size_t kMaxDepth = 96;
+};
+
+} // namespace hp
+
+#endif // HP_WORKLOAD_REQUEST_ENGINE_HH

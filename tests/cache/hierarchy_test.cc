@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include "cache/hierarchy.hh"
+
+namespace hp
+{
+namespace
+{
+
+constexpr Addr kBase = 0x400000;
+
+Addr
+blk(unsigned i)
+{
+    return kBase + Addr(i) * kBlockBytes;
+}
+
+HierarchyParams
+smallParams()
+{
+    HierarchyParams p;
+    p.l1iBytes = 2 * 1024; // tiny, to exercise evictions
+    p.l1iWays = 4;
+    p.l2Bytes = 16 * 1024;
+    p.l2InstFraction = 1.0;
+    p.llcBytes = 64 * 1024;
+    p.llcInstFraction = 1.0;
+    return p;
+}
+
+TEST(HierarchyTest, ColdMissGoesToMemory)
+{
+    CacheHierarchy hier(smallParams());
+    DemandResult res = hier.demandAccess(blk(0), 100);
+    EXPECT_FALSE(res.retry);
+    EXPECT_EQ(res.level, ServiceLevel::Mem);
+    EXPECT_EQ(res.readyAt, 100 + hier.params().memLatency);
+    EXPECT_EQ(hier.stats().demandL1Misses, 1u);
+    EXPECT_EQ(hier.stats().demandL2Misses, 1u);
+    EXPECT_EQ(hier.stats().demandLlcMisses, 1u);
+}
+
+TEST(HierarchyTest, FillMakesSubsequentAccessHit)
+{
+    CacheHierarchy hier(smallParams());
+    DemandResult res = hier.demandAccess(blk(0), 0);
+    hier.tick(res.readyAt);
+    DemandResult second = hier.demandAccess(blk(0), res.readyAt + 1);
+    EXPECT_EQ(second.level, ServiceLevel::L1);
+    EXPECT_EQ(hier.stats().dramDemandBytes, kBlockBytes);
+}
+
+TEST(HierarchyTest, MergeIntoOutstandingMiss)
+{
+    CacheHierarchy hier(smallParams());
+    DemandResult first = hier.demandAccess(blk(0), 0);
+    DemandResult merge = hier.demandAccess(blk(0), 10);
+    EXPECT_EQ(merge.level, ServiceLevel::Mshr);
+    EXPECT_EQ(merge.readyAt, first.readyAt);
+    EXPECT_EQ(hier.stats().servedByMshr, 1u);
+}
+
+TEST(HierarchyTest, L2ServiceAfterL1Eviction)
+{
+    HierarchyParams params = smallParams();
+    CacheHierarchy hier(params);
+    // Fill blk(0), then flood the L1-I so it gets evicted; it should
+    // then be served by the L2.
+    DemandResult res = hier.demandAccess(blk(0), 0);
+    hier.tick(res.readyAt);
+    Cycle now = res.readyAt + 1;
+    unsigned l1_blocks = unsigned(params.l1iBytes / kBlockBytes);
+    for (unsigned i = 1; i <= 2 * l1_blocks; ++i) {
+        DemandResult r = hier.demandAccess(blk(i), now);
+        if (!r.retry) {
+            now = r.readyAt + 1;
+            hier.tick(now);
+        } else {
+            hier.tick(now + 200);
+            now += 200;
+        }
+    }
+    DemandResult again = hier.demandAccess(blk(0), now);
+    EXPECT_EQ(again.level, ServiceLevel::L2);
+    EXPECT_EQ(again.readyAt, now + params.l2Latency);
+}
+
+TEST(HierarchyTest, MshrExhaustionForcesRetry)
+{
+    HierarchyParams params = smallParams();
+    params.l1iMshrs = 2;
+    CacheHierarchy hier(params);
+    EXPECT_FALSE(hier.demandAccess(blk(0), 0).retry);
+    EXPECT_FALSE(hier.demandAccess(blk(1), 0).retry);
+    EXPECT_TRUE(hier.demandAccess(blk(2), 0).retry);
+    // After fills complete, the access succeeds.
+    hier.tick(1000);
+    EXPECT_FALSE(hier.demandAccess(blk(2), 1000).retry);
+}
+
+TEST(HierarchyTest, PrefetchFillsAndCountsUseful)
+{
+    CacheHierarchy hier(smallParams());
+    EXPECT_TRUE(hier.prefetch(blk(0), Origin::Ext, 0));
+    hier.tick(1000);
+    EXPECT_EQ(hier.stats().ext.inserted, 1u);
+    DemandResult res = hier.demandAccess(blk(0), 1000);
+    EXPECT_EQ(res.level, ServiceLevel::L1);
+    EXPECT_EQ(hier.stats().ext.usefulL1, 1u);
+}
+
+TEST(HierarchyTest, RedundantPrefetchFiltered)
+{
+    CacheHierarchy hier(smallParams());
+    hier.prefetch(blk(0), Origin::Ext, 0);
+    EXPECT_FALSE(hier.prefetch(blk(0), Origin::Ext, 1)); // in flight
+    hier.tick(1000);
+    EXPECT_FALSE(hier.prefetch(blk(0), Origin::Ext, 1001)); // resident
+    EXPECT_EQ(hier.stats().ext.redundant, 2u);
+}
+
+TEST(HierarchyTest, PrefetchRespectsMshrReservation)
+{
+    HierarchyParams params = smallParams();
+    params.l1iMshrs = 4;
+    params.mshrsReservedForDemand = 2;
+    CacheHierarchy hier(params);
+    EXPECT_TRUE(hier.prefetch(blk(0), Origin::Ext, 0));
+    EXPECT_TRUE(hier.prefetch(blk(1), Origin::Ext, 0));
+    // Only 2 MSHRs left: reserved for demand.
+    EXPECT_FALSE(hier.prefetch(blk(2), Origin::Ext, 0));
+    EXPECT_EQ(hier.stats().ext.dropped, 1u);
+    // Demand can still allocate.
+    EXPECT_FALSE(hier.demandAccess(blk(3), 0).retry);
+}
+
+TEST(HierarchyTest, LatePrefetchMerge)
+{
+    CacheHierarchy hier(smallParams());
+    hier.prefetch(blk(0), Origin::Ext, 0);
+    DemandResult res = hier.demandAccess(blk(0), 5);
+    EXPECT_EQ(res.level, ServiceLevel::Mshr);
+    EXPECT_EQ(hier.stats().ext.lateMerges, 1u);
+    // The block, once filled, must not later count as useless.
+    hier.tick(1000);
+    EXPECT_EQ(hier.stats().ext.uselessEvicted, 0u);
+}
+
+TEST(HierarchyTest, UselessEvictionCounted)
+{
+    HierarchyParams params = smallParams();
+    CacheHierarchy hier(params);
+    // Prefetch one block, never use it, then flood its set.
+    hier.prefetch(blk(0), Origin::Ext, 0);
+    hier.tick(1000);
+    Cycle now = 1000;
+    unsigned sets = unsigned(params.l1iBytes / kBlockBytes /
+                             params.l1iWays);
+    for (unsigned w = 1; w <= params.l1iWays + 1; ++w) {
+        DemandResult r = hier.demandAccess(blk(w * sets), now);
+        now = r.readyAt + 1;
+        hier.tick(now);
+    }
+    EXPECT_EQ(hier.stats().ext.uselessEvicted, 1u);
+}
+
+TEST(HierarchyTest, PrefetchToL2Mode)
+{
+    CacheHierarchy hier(smallParams());
+    EXPECT_TRUE(hier.prefetch(blk(0), Origin::Ext, 0, /*to_l2=*/true));
+    hier.tick(1000);
+    // The block must be in the L2, not the L1-I.
+    EXPECT_FALSE(hier.l1i().contains(blk(0)));
+    EXPECT_TRUE(hier.l2().contains(blk(0)));
+    // Demand then hits the L2 and counts usefulL2.
+    DemandResult res = hier.demandAccess(blk(0), 1000);
+    EXPECT_EQ(res.level, ServiceLevel::L2);
+    EXPECT_EQ(hier.stats().ext.usefulL2, 1u);
+}
+
+TEST(HierarchyTest, DistanceTrackedForUsefulPrefetch)
+{
+    CacheHierarchy hier(smallParams());
+    hier.prefetch(blk(0), Origin::Ext, 0);
+    hier.tick(1000);
+    for (int i = 0; i < 10; ++i)
+        hier.noteFetchBlock();
+    hier.demandAccess(blk(0), 1000);
+    EXPECT_EQ(hier.stats().extUsefulDistance.count(), 1u);
+    EXPECT_DOUBLE_EQ(hier.stats().extUsefulDistance.mean(), 10.0);
+}
+
+TEST(HierarchyTest, MetadataReadLatencyAndTraffic)
+{
+    HierarchyParams params = smallParams();
+    params.metadataDramEvery = 2;
+    CacheHierarchy hier(params);
+    Cycle llc_read = hier.metadataRead(368, 100);
+    EXPECT_EQ(llc_read, 100 + params.llcLatency);
+    Cycle dram_read = hier.metadataRead(368, 200);
+    EXPECT_EQ(dram_read, 200 + params.memLatency);
+    EXPECT_GT(hier.stats().dramMetadataReadBytes, 0u);
+    hier.metadataWrite(100, 300);
+    EXPECT_EQ(hier.stats().dramMetadataWriteBytes, 100u);
+}
+
+TEST(HierarchyTest, InstShareBytesRounding)
+{
+    // 512 KB at 0.65 share with 8 ways of 64 B = set-aligned value.
+    std::uint64_t share = instShareBytes(512 * 1024, 0.65, 8);
+    EXPECT_EQ(share % (8 * kBlockBytes), 0u);
+    EXPECT_NEAR(double(share), 0.65 * 512 * 1024, 8.0 * kBlockBytes);
+}
+
+TEST(HierarchyTest, ResetStatsPreservesContents)
+{
+    CacheHierarchy hier(smallParams());
+    DemandResult res = hier.demandAccess(blk(0), 0);
+    hier.tick(res.readyAt);
+    hier.resetStats();
+    EXPECT_EQ(hier.stats().demandAccesses, 0u);
+    EXPECT_EQ(hier.demandAccess(blk(0), 1000).level, ServiceLevel::L1);
+}
+
+} // namespace
+} // namespace hp

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "cache/reuse_distance.hh"
+#include "util/rng.hh"
+
+namespace hp
+{
+namespace
+{
+
+/** Brute-force reference: unique blocks between accesses. */
+class ReferenceTracker
+{
+  public:
+    std::uint64_t
+    access(Addr block)
+    {
+        std::uint64_t distance = ReuseDistanceTracker::kColdAccess;
+        auto it = last_.find(block);
+        if (it != last_.end()) {
+            std::set<Addr> unique;
+            for (std::size_t i = it->second + 1; i < trace_.size(); ++i)
+                unique.insert(trace_[i]);
+            distance = unique.size();
+        }
+        trace_.push_back(block);
+        last_[block] = trace_.size() - 1;
+        return distance;
+    }
+
+  private:
+    std::vector<Addr> trace_;
+    std::map<Addr, std::size_t> last_;
+};
+
+TEST(ReuseDistanceTest, ColdAccessesReported)
+{
+    ReuseDistanceTracker tracker;
+    EXPECT_EQ(tracker.access(0x100), ReuseDistanceTracker::kColdAccess);
+    EXPECT_EQ(tracker.access(0x200), ReuseDistanceTracker::kColdAccess);
+    EXPECT_EQ(tracker.uniqueBlocks(), 2u);
+}
+
+TEST(ReuseDistanceTest, ImmediateReuseIsZero)
+{
+    ReuseDistanceTracker tracker;
+    tracker.access(0x100);
+    EXPECT_EQ(tracker.access(0x100), 0u);
+}
+
+TEST(ReuseDistanceTest, SimpleSequence)
+{
+    // A B C A: distance of the second A is 2 (B and C).
+    ReuseDistanceTracker tracker;
+    tracker.access(0xa);
+    tracker.access(0xb);
+    tracker.access(0xc);
+    EXPECT_EQ(tracker.access(0xa), 2u);
+}
+
+TEST(ReuseDistanceTest, RepeatsDoNotInflateDistance)
+{
+    // A B B B A: distance of the second A is 1 (just B).
+    ReuseDistanceTracker tracker;
+    tracker.access(0xa);
+    tracker.access(0xb);
+    tracker.access(0xb);
+    tracker.access(0xb);
+    EXPECT_EQ(tracker.access(0xa), 1u);
+}
+
+TEST(ReuseDistanceTest, MatchesBruteForceOnRandomTrace)
+{
+    ReuseDistanceTracker tracker;
+    ReferenceTracker reference;
+    Rng rng(99);
+    for (int i = 0; i < 5000; ++i) {
+        Addr block = rng.nextUint(64) * kBlockBytes;
+        EXPECT_EQ(tracker.access(block), reference.access(block))
+            << "at access " << i;
+    }
+}
+
+TEST(ReuseDistanceTest, GrowthPreservesCorrectness)
+{
+    // Force the Fenwick tree to grow past its initial capacity by
+    // running > 2^20 accesses, then verify distances still match a
+    // small-window reference.
+    ReuseDistanceTracker tracker;
+    constexpr std::uint64_t kAccesses = (1u << 20) + 5000;
+    // Cyclic pattern over 8 blocks: after warmup, each access has
+    // distance exactly 7.
+    for (std::uint64_t i = 0; i < kAccesses; ++i) {
+        std::uint64_t d = tracker.access((i % 8) * kBlockBytes);
+        if (i >= 8) {
+            EXPECT_EQ(d, 7u) << "at access " << i;
+        }
+    }
+}
+
+} // namespace
+} // namespace hp

@@ -1,0 +1,54 @@
+#include <gtest/gtest.h>
+
+#include "cache/tlb.hh"
+
+namespace hp
+{
+namespace
+{
+
+TEST(TlbTest, MissPaysWalkThenHits)
+{
+    Tlb tlb(4, 50);
+    EXPECT_EQ(tlb.translate(0x400123), 50u);
+    EXPECT_EQ(tlb.translate(0x400fff), 0u); // same page
+    EXPECT_EQ(tlb.translate(0x401000), 50u); // next page
+    EXPECT_EQ(tlb.accesses(), 3u);
+    EXPECT_EQ(tlb.misses(), 2u);
+}
+
+TEST(TlbTest, LruReplacement)
+{
+    Tlb tlb(2, 10);
+    tlb.translate(0x1000);
+    tlb.translate(0x2000);
+    tlb.translate(0x1000); // refresh page 1; page 2 is LRU
+    tlb.translate(0x3000); // evicts page 2
+    EXPECT_EQ(tlb.translate(0x1000), 0u);
+    EXPECT_EQ(tlb.translate(0x2000), 10u); // was evicted
+}
+
+TEST(TlbTest, CapacityRespected)
+{
+    Tlb tlb(8, 10);
+    for (Addr page = 0; page < 16; ++page)
+        tlb.translate(page * kPageBytes);
+    // The last 8 pages are resident, the first 8 are not.
+    for (Addr page = 8; page < 16; ++page)
+        EXPECT_EQ(tlb.translate(page * kPageBytes), 0u);
+    EXPECT_EQ(tlb.translate(0), 10u);
+}
+
+TEST(TlbTest, ResetStats)
+{
+    Tlb tlb(4, 10);
+    tlb.translate(0x1000);
+    tlb.resetStats();
+    EXPECT_EQ(tlb.accesses(), 0u);
+    EXPECT_EQ(tlb.misses(), 0u);
+    // Contents survive the stats reset.
+    EXPECT_EQ(tlb.translate(0x1000), 0u);
+}
+
+} // namespace
+} // namespace hp

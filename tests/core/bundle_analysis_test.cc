@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "../test_helpers.hh"
+#include "core/bundle_analysis.hh"
+
+namespace hp
+{
+namespace
+{
+
+/** insts needed for a leaf of roughly @p bytes. */
+constexpr std::uint32_t
+instsFor(std::uint64_t bytes)
+{
+    return static_cast<std::uint32_t>(bytes / kInstBytes);
+}
+
+/**
+ * The paper's Figure 5 shape: root A calls B and C; C calls D; D
+ * calls E. Reachable sizes are controlled through leaf padding so the
+ * divergence threshold (200 KB) splits exactly as in the figure:
+ * B and C are entries (both branches of A exceed the threshold and
+ * differ from A by more than it); D is NOT an entry (too close to C).
+ */
+struct Figure5Fixture
+{
+    Program program;
+    FuncId a, b, c, d, e;
+    FuncId bPad, ePad;
+
+    Figure5Fixture()
+    {
+        // E: 210 KB reachable on its own.
+        ePad = test::addLeaf(program, "e_pad", instsFor(205 * 1024));
+        e = test::addCaller(program, "e", {ePad});
+        // D: E plus a little -> ~215 KB (close to C).
+        d = test::addCaller(program, "d", {e});
+        // C: D plus ~20 KB -> ~235 KB.
+        FuncId c_pad =
+            test::addLeaf(program, "c_pad", instsFor(20 * 1024));
+        c = test::addCaller(program, "c", {d, c_pad});
+        // B: own 250 KB branch.
+        bPad = test::addLeaf(program, "b_pad", instsFor(250 * 1024));
+        b = test::addCaller(program, "b", {bPad});
+        // A: root calling both branches (~485 KB+).
+        a = test::addCaller(program, "a", {b, c});
+        program.layout();
+    }
+};
+
+TEST(BundleAnalysisTest, Figure5EntriesMatchPaper)
+{
+    Figure5Fixture fx;
+    CallGraph graph(fx.program);
+    BundleAnalysis analysis = findBundleEntries(graph);
+
+    // A (root over threshold), B and C are entries.
+    EXPECT_TRUE(analysis.isEntry(fx.a));
+    EXPECT_TRUE(analysis.isEntry(fx.b));
+    EXPECT_TRUE(analysis.isEntry(fx.c));
+    // D meets the size threshold but differs from C by < 200 KB.
+    EXPECT_FALSE(analysis.isEntry(fx.d));
+    EXPECT_FALSE(analysis.isEntry(fx.e));
+    // b_pad is over the size threshold but its parent B exceeds it by
+    // only a few bytes, so it is not a divergence point.
+    std::uint64_t diff = analysis.reachableSizes[fx.b] -
+                         analysis.reachableSizes[fx.bPad];
+    EXPECT_LT(diff, kDefaultBundleThreshold);
+    EXPECT_FALSE(analysis.isEntry(fx.bPad));
+}
+
+TEST(BundleAnalysisTest, SmallGraphHasNoEntries)
+{
+    Program program;
+    FuncId leaf = test::addLeaf(program, "leaf", 100);
+    FuncId root = test::addCaller(program, "root", {leaf});
+    program.layout();
+    CallGraph graph(program);
+    BundleAnalysis analysis = findBundleEntries(graph);
+    EXPECT_TRUE(analysis.entries.empty());
+    EXPECT_FALSE(analysis.isEntry(root));
+    EXPECT_DOUBLE_EQ(analysis.entryFraction, 0.0);
+}
+
+TEST(BundleAnalysisTest, RootTaggedWhenOverThreshold)
+{
+    Program program;
+    FuncId big =
+        test::addLeaf(program, "big", instsFor(300 * 1024));
+    FuncId root = test::addCaller(program, "root", {big});
+    program.layout();
+    CallGraph graph(program);
+    BundleAnalysis analysis = findBundleEntries(graph);
+    EXPECT_TRUE(analysis.isEntry(root));
+    // big itself: differs from root by only a few bytes -> no entry.
+    EXPECT_FALSE(analysis.isEntry(big));
+}
+
+TEST(BundleAnalysisTest, ThresholdIsRespected)
+{
+    Program program;
+    FuncId big = test::addLeaf(program, "big", instsFor(300 * 1024));
+    FuncId root = test::addCaller(program, "root", {big});
+    program.layout();
+    CallGraph graph(program);
+
+    // With a huge threshold nothing qualifies.
+    BundleAnalysis none =
+        findBundleEntries(graph, 10ull * 1024 * 1024);
+    EXPECT_TRUE(none.entries.empty());
+
+    // With a tiny threshold the root and the divergent child qualify.
+    BundleAnalysis all = findBundleEntries(graph, 64);
+    EXPECT_TRUE(all.isEntry(root));
+    (void)big;
+}
+
+TEST(BundleAnalysisTest, EntriesSortedAndFractionConsistent)
+{
+    Figure5Fixture fx;
+    CallGraph graph(fx.program);
+    BundleAnalysis analysis = findBundleEntries(graph);
+    EXPECT_TRUE(std::is_sorted(analysis.entries.begin(),
+                               analysis.entries.end()));
+    EXPECT_DOUBLE_EQ(analysis.entryFraction,
+                     double(analysis.entries.size()) /
+                         double(fx.program.numFunctions()));
+}
+
+TEST(BundleAnalysisTest, DivergenceRequiresBothConditions)
+{
+    // parent -> {bigA, bigB}: both children over the threshold and
+    // the parent exceeds each by more than the threshold via the other
+    // branch -> both are entries.
+    Program program;
+    FuncId big_a =
+        test::addLeaf(program, "bigA", instsFor(250 * 1024));
+    FuncId big_b =
+        test::addLeaf(program, "bigB", instsFor(260 * 1024));
+    FuncId parent = test::addCaller(program, "parent", {big_a, big_b});
+    program.layout();
+    CallGraph graph(program);
+    BundleAnalysis analysis = findBundleEntries(graph);
+    EXPECT_TRUE(analysis.isEntry(big_a));
+    EXPECT_TRUE(analysis.isEntry(big_b));
+    EXPECT_TRUE(analysis.isEntry(parent)); // root over threshold
+}
+
+} // namespace
+} // namespace hp

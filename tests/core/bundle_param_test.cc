@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "core/hierarchical_prefetcher.hh"
+#include "core/loader.hh"
+#include "workload/program_builder.hh"
+
+namespace hp
+{
+namespace
+{
+
+/**
+ * Property sweep over divergence thresholds on a real (synthetic)
+ * server binary: raising the threshold must monotonically shrink the
+ * entry set, and every entry must satisfy Algorithm 1's conditions.
+ */
+class ThresholdSweep : public ::testing::TestWithParam<std::uint64_t>
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        app_ = ProgramBuilder::cached(appProfile("caddy"))
+                   ; // shared across params
+        graph_ = new CallGraph(app_->program);
+    }
+
+    static std::shared_ptr<const BuiltApp> app_;
+    static CallGraph *graph_;
+};
+
+std::shared_ptr<const BuiltApp> ThresholdSweep::app_;
+CallGraph *ThresholdSweep::graph_ = nullptr;
+
+TEST_P(ThresholdSweep, EveryEntrySatisfiesAlgorithmOne)
+{
+    std::uint64_t threshold = GetParam();
+    BundleAnalysis analysis = findBundleEntries(*graph_, threshold);
+    const auto &reach = analysis.reachableSizes;
+    for (FuncId entry : analysis.entries) {
+        EXPECT_GE(reach[entry], threshold);
+        const auto &parents = graph_->parents(entry);
+        if (parents.empty())
+            continue; // root rule
+        bool divergent = false;
+        for (FuncId parent : parents) {
+            if (reach[parent] > reach[entry] &&
+                reach[parent] - reach[entry] > threshold) {
+                divergent = true;
+            }
+        }
+        EXPECT_TRUE(divergent) << "entry " << entry;
+    }
+}
+
+TEST_P(ThresholdSweep, MonotonicInThreshold)
+{
+    std::uint64_t threshold = GetParam();
+    BundleAnalysis tight = findBundleEntries(*graph_, threshold);
+    BundleAnalysis loose = findBundleEntries(*graph_, threshold / 2);
+    // A smaller threshold can only admit more or equal entries.
+    EXPECT_GE(loose.entries.size(), tight.entries.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, ThresholdSweep,
+                         ::testing::Values(50ull * 1024,
+                                           100ull * 1024,
+                                           200ull * 1024,
+                                           400ull * 1024,
+                                           800ull * 1024),
+                         [](const auto &info) {
+                             return std::to_string(info.param / 1024) +
+                                    "KB";
+                         });
+
+/**
+ * Property sweep over Metadata Address Table sizes: the storage
+ * formula must track the geometry, and behaviour must stay correct.
+ */
+class MatSweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(MatSweep, StorageScalesWithEntries)
+{
+    unsigned entries = GetParam();
+    MetadataAddressTable table(entries, 8, 11);
+    MetadataAddressTable half(entries / 2, 8, 11);
+    // Tag width grows as sets shrink, so storage is slightly more
+    // than 2x, never less.
+    EXPECT_GE(table.storageBits(), 2 * half.storageBits() - entries);
+}
+
+TEST_P(MatSweep, HoldsUpToCapacityDistinctIds)
+{
+    unsigned entries = GetParam();
+    MetadataAddressTable table(entries, 8, 11);
+    // Insert exactly `entries` ids that spread over all sets.
+    unsigned sets = entries / 8;
+    for (unsigned i = 0; i < entries; ++i) {
+        BundleId id = (i % sets) | ((i / sets) << 16);
+        table.insert(id, i);
+    }
+    EXPECT_EQ(table.occupancy(), entries);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MatSweep,
+                         ::testing::Values(64u, 128u, 256u, 512u,
+                                           1024u, 2048u, 4096u));
+
+} // namespace
+} // namespace hp

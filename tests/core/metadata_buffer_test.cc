@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "core/metadata_buffer.hh"
+
+namespace hp
+{
+namespace
+{
+
+TEST(MetadataBufferTest, CapacityInSegments)
+{
+    MetadataBuffer buffer(512 * 1024);
+    // 512 KB / 368 B per segment = 1424 segments.
+    EXPECT_EQ(buffer.numSegments(), 512u * 1024 / kSegmentEncodedBytes);
+    EXPECT_GE(buffer.numSegments(), 1400u);
+}
+
+TEST(MetadataBufferTest, PointerBitsMatchPaper)
+{
+    // The paper's 512 KB buffer is indexed by an 11-bit pointer.
+    MetadataBuffer buffer(512 * 1024);
+    EXPECT_EQ(buffer.pointerBits(), 11u);
+}
+
+TEST(MetadataBufferTest, AllocateInitializesSegment)
+{
+    MetadataBuffer buffer(8 * 1024);
+    auto [idx, invalidated] = buffer.allocate(0x1234, true);
+    EXPECT_FALSE(invalidated.has_value());
+    const Segment &seg = buffer.seg(idx);
+    EXPECT_EQ(seg.owner, 0x1234u);
+    EXPECT_TRUE(seg.headOfBundle);
+    EXPECT_TRUE(seg.live);
+    EXPECT_EQ(seg.next, kNoSeg);
+    EXPECT_TRUE(seg.regions.empty());
+}
+
+TEST(MetadataBufferTest, CircularReclaimReportsEvictedHead)
+{
+    MetadataBuffer buffer(2 * kSegmentEncodedBytes);
+    ASSERT_EQ(buffer.numSegments(), 2u);
+    buffer.allocate(0xaaa, true);
+    buffer.allocate(0xaaa, false);
+    // Wrap: reclaims the head segment of bundle 0xaaa.
+    auto [idx, invalidated] = buffer.allocate(0xbbb, true);
+    EXPECT_EQ(idx, 0u);
+    ASSERT_TRUE(invalidated.has_value());
+    EXPECT_EQ(*invalidated, 0xaaau);
+}
+
+TEST(MetadataBufferTest, ReclaimOfNonHeadInvalidatesNothing)
+{
+    MetadataBuffer buffer(2 * kSegmentEncodedBytes);
+    buffer.allocate(0xaaa, true);
+    buffer.allocate(0xaaa, false);
+    buffer.allocate(0xbbb, true); // reclaims the head (reported)
+    // Next allocation reclaims the non-head segment: no invalidation.
+    auto [idx, invalidated] = buffer.allocate(0xbbb, false);
+    EXPECT_EQ(idx, 1u);
+    EXPECT_FALSE(invalidated.has_value());
+}
+
+TEST(MetadataBufferTest, SameOwnerReallocationNotReported)
+{
+    MetadataBuffer buffer(2 * kSegmentEncodedBytes);
+    buffer.allocate(0xaaa, true);
+    buffer.allocate(0xaaa, false);
+    // The same bundle reclaiming its own head is not an invalidation.
+    auto [idx, invalidated] = buffer.allocate(0xaaa, true);
+    (void)idx;
+    EXPECT_FALSE(invalidated.has_value());
+}
+
+TEST(MetadataBufferTest, OwnedByChecksOwnerAndLiveness)
+{
+    MetadataBuffer buffer(4 * kSegmentEncodedBytes);
+    auto [idx, inv] = buffer.allocate(7, true);
+    (void)inv;
+    EXPECT_TRUE(buffer.ownedBy(idx, 7));
+    EXPECT_FALSE(buffer.ownedBy(idx, 8));
+    EXPECT_FALSE(buffer.ownedBy(kNoSeg, 7));
+    EXPECT_FALSE(buffer.ownedBy(9999, 7));
+}
+
+TEST(MetadataBufferTest, SegmentEncodedSizeMatchesPaper)
+{
+    // 32 regions x 11 B + 16 B header = 368 B ~ the paper's 0.36 KB.
+    EXPECT_EQ(kSegmentEncodedBytes, 368u);
+}
+
+} // namespace
+} // namespace hp

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "core/metadata_table.hh"
+
+namespace hp
+{
+namespace
+{
+
+TEST(MetadataTableTest, MissOnEmpty)
+{
+    MetadataAddressTable table(512, 8, 11);
+    EXPECT_FALSE(table.lookup(0x123456).has_value());
+    EXPECT_EQ(table.occupancy(), 0u);
+}
+
+TEST(MetadataTableTest, InsertThenLookup)
+{
+    MetadataAddressTable table(512, 8, 11);
+    table.insert(0x123456, 77);
+    auto head = table.lookup(0x123456);
+    ASSERT_TRUE(head.has_value());
+    EXPECT_EQ(*head, 77u);
+    EXPECT_EQ(table.occupancy(), 1u);
+}
+
+TEST(MetadataTableTest, InsertUpdatesExistingEntry)
+{
+    MetadataAddressTable table(512, 8, 11);
+    table.insert(0x42, 1);
+    table.insert(0x42, 2);
+    EXPECT_EQ(table.occupancy(), 1u);
+    EXPECT_EQ(*table.lookup(0x42), 2u);
+}
+
+TEST(MetadataTableTest, Invalidate)
+{
+    MetadataAddressTable table(512, 8, 11);
+    table.insert(0x42, 1);
+    table.invalidate(0x42);
+    EXPECT_FALSE(table.lookup(0x42).has_value());
+    // Invalidating a missing id is a no-op.
+    table.invalidate(0x43);
+}
+
+TEST(MetadataTableTest, LruEvictionWithinSet)
+{
+    // 64 sets -> ids that differ only above bit 6 share a set.
+    MetadataAddressTable table(512, 8, 11);
+    auto id_for_way = [](unsigned way) {
+        return BundleId(way << 6); // same set 0, distinct tags
+    };
+    for (unsigned w = 0; w < 8; ++w)
+        table.insert(id_for_way(w), w);
+    // Touch way 0 so way 1 becomes LRU.
+    EXPECT_TRUE(table.lookup(id_for_way(0)).has_value());
+    table.insert(id_for_way(100), 100);
+    EXPECT_TRUE(table.lookup(id_for_way(0)).has_value());
+    EXPECT_FALSE(table.lookup(id_for_way(1)).has_value());
+    EXPECT_TRUE(table.lookup(id_for_way(100)).has_value());
+}
+
+TEST(MetadataTableTest, StorageBitsMatchPaperBudget)
+{
+    // Paper Section 5.3.3: 512 entries, 8-way, 18-bit tag, 11-bit
+    // pointer, valid bit, LRU bit -> 15872 bits (1.94 KB).
+    MetadataAddressTable table(512, 8, 11);
+    EXPECT_EQ(table.storageBits(), 15872u);
+    EXPECT_NEAR(double(table.storageBits()) / 8.0 / 1024.0, 1.94, 0.01);
+}
+
+TEST(MetadataTableTest, DifferentSetsDoNotConflict)
+{
+    MetadataAddressTable table(512, 8, 11);
+    for (unsigned set = 0; set < 64; ++set)
+        table.insert(set, set);
+    for (unsigned set = 0; set < 64; ++set)
+        EXPECT_EQ(*table.lookup(set), set);
+}
+
+TEST(MetadataTableTest, ParameterizedGeometries)
+{
+    for (unsigned entries : {64u, 128u, 256u, 1024u, 4096u}) {
+        MetadataAddressTable table(entries, 8, 11);
+        EXPECT_EQ(table.numEntries(), entries);
+        table.insert(1, 5);
+        EXPECT_EQ(*table.lookup(1), 5u);
+    }
+}
+
+} // namespace
+} // namespace hp

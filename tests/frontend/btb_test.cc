@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "frontend/btb.hh"
+
+namespace hp
+{
+namespace
+{
+
+TEST(BtbTest, MissThenHit)
+{
+    Btb btb(1024, 8);
+    EXPECT_FALSE(btb.lookup(0x1000).has_value());
+    btb.update(0x1000, 0x2000);
+    auto target = btb.lookup(0x1000);
+    ASSERT_TRUE(target.has_value());
+    EXPECT_EQ(*target, 0x2000u);
+    EXPECT_EQ(btb.lookups(), 2u);
+    EXPECT_EQ(btb.misses(), 1u);
+}
+
+TEST(BtbTest, UpdateOverwritesTarget)
+{
+    Btb btb(1024, 8);
+    btb.update(0x1000, 0x2000);
+    btb.update(0x1000, 0x3000);
+    EXPECT_EQ(*btb.lookup(0x1000), 0x3000u);
+}
+
+TEST(BtbTest, CapacityEviction)
+{
+    Btb btb(64, 4); // 16 sets
+    // Insert far more branches than capacity.
+    for (Addr pc = 0; pc < 1024; ++pc)
+        btb.update(0x10000 + pc * 4, pc);
+    unsigned hits = 0;
+    for (Addr pc = 0; pc < 1024; ++pc)
+        hits += btb.lookup(0x10000 + pc * 4).has_value();
+    EXPECT_LE(hits, 64u);
+    EXPECT_GT(hits, 0u);
+}
+
+TEST(BtbTest, LruKeepsHotEntries)
+{
+    Btb btb(8, 8); // one set
+    for (unsigned i = 0; i < 8; ++i)
+        btb.update(Addr(i) * 4096, i);
+    btb.lookup(0); // refresh
+    btb.update(9 * 4096, 9);
+    EXPECT_TRUE(btb.lookup(0).has_value());
+}
+
+TEST(BtbTest, InfiniteModeNeverEvicts)
+{
+    Btb btb(0); // infinite (Figure 14)
+    ASSERT_TRUE(btb.infinite());
+    for (Addr pc = 0; pc < 100000; ++pc)
+        btb.update(pc * 4, pc);
+    for (Addr pc = 0; pc < 100000; pc += 997)
+        EXPECT_EQ(*btb.lookup(pc * 4), pc);
+}
+
+} // namespace
+} // namespace hp

@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "frontend/ras.hh"
+
+namespace hp
+{
+namespace
+{
+
+TEST(RasTest, PushPopLifo)
+{
+    Ras ras(8);
+    ras.push(0x100);
+    ras.push(0x200);
+    ras.push(0x300);
+    EXPECT_EQ(ras.pop(), 0x300u);
+    EXPECT_EQ(ras.pop(), 0x200u);
+    EXPECT_EQ(ras.pop(), 0x100u);
+}
+
+TEST(RasTest, UnderflowReturnsZero)
+{
+    Ras ras(4);
+    EXPECT_EQ(ras.pop(), 0u);
+    EXPECT_EQ(ras.underflows(), 1u);
+}
+
+TEST(RasTest, OverflowWrapsAndCorruptsDeepEntries)
+{
+    Ras ras(4);
+    for (Addr i = 1; i <= 6; ++i)
+        ras.push(i * 0x10);
+    EXPECT_EQ(ras.overflows(), 2u);
+    // The top 4 entries survive.
+    EXPECT_EQ(ras.pop(), 0x60u);
+    EXPECT_EQ(ras.pop(), 0x50u);
+    EXPECT_EQ(ras.pop(), 0x40u);
+    EXPECT_EQ(ras.pop(), 0x30u);
+    // The two oldest were overwritten; stack is now empty.
+    EXPECT_EQ(ras.pop(), 0u);
+}
+
+TEST(RasTest, TopPeeksWithoutPopping)
+{
+    Ras ras(8);
+    ras.push(0x100);
+    ras.push(0x200);
+    ras.push(0x300);
+    auto top = ras.top(2);
+    ASSERT_EQ(top.size(), 2u);
+    EXPECT_EQ(top[0], 0x300u);
+    EXPECT_EQ(top[1], 0x200u);
+    EXPECT_EQ(ras.size(), 3u);
+}
+
+TEST(RasTest, TopClampsToSize)
+{
+    Ras ras(8);
+    ras.push(0x100);
+    EXPECT_EQ(ras.top(5).size(), 1u);
+    EXPECT_EQ(Ras(4).top(3).size(), 0u);
+}
+
+} // namespace
+} // namespace hp

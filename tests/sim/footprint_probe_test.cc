@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "sim/footprint_probe.hh"
+
+namespace hp
+{
+namespace
+{
+
+DynInst
+taggedCall(Addr pc, Addr target)
+{
+    DynInst inst;
+    inst.pc = pc;
+    inst.kind = InstKind::Call;
+    inst.taken = true;
+    inst.target = target;
+    inst.tagged = true;
+    return inst;
+}
+
+DynInst
+plain(Addr pc)
+{
+    DynInst inst;
+    inst.pc = pc;
+    inst.kind = InstKind::Plain;
+    return inst;
+}
+
+/** Emits @p blocks cache blocks of straight-line code at @p base. */
+void
+body(FootprintProbe &probe, Addr base, unsigned blocks)
+{
+    for (unsigned b = 0; b < blocks; ++b)
+        probe.onCommit(plain(base + Addr(b) * kBlockBytes));
+}
+
+TEST(FootprintProbeTest, IdenticalFootprintsScoreOne)
+{
+    FootprintProbe probe(TriggerKind::Bundle, 1);
+    for (int rep = 0; rep < 6; ++rep) {
+        probe.onCommit(taggedCall(0x1000, 0x400000));
+        body(probe, 0x400000, 40);
+    }
+    probe.finalize();
+    EXPECT_GT(probe.triggersSeen(), 0u);
+    // Footprint size 16 and 32 both fully covered by the 40 blocks.
+    EXPECT_DOUBLE_EQ(probe.meanJaccard(0), 1.0);
+    EXPECT_DOUBLE_EQ(probe.meanJaccard(1), 1.0);
+}
+
+TEST(FootprintProbeTest, DisjointFootprintsScoreZero)
+{
+    FootprintProbe probe(TriggerKind::Bundle, 1);
+    for (int rep = 0; rep < 6; ++rep) {
+        probe.onCommit(taggedCall(0x1000, 0x400000));
+        // Alternate between two disjoint code regions.
+        Addr base = (rep % 2) ? 0x800000 : 0x400000;
+        body(probe, base, 40);
+    }
+    probe.finalize();
+    EXPECT_DOUBLE_EQ(probe.meanJaccard(0), 0.0);
+}
+
+TEST(FootprintProbeTest, PartialOverlapBetweenZeroAndOne)
+{
+    FootprintProbe probe(TriggerKind::Bundle, 1);
+    for (int rep = 0; rep < 8; ++rep) {
+        probe.onCommit(taggedCall(0x1000, 0x400000));
+        // Shared prefix of 20 blocks, then an 20-block variant tail.
+        body(probe, 0x400000, 20);
+        body(probe, (rep % 2) ? 0xa00000 : 0xb00000, 20);
+    }
+    probe.finalize();
+    double j32 = probe.meanJaccard(1); // 32-block footprints
+    EXPECT_GT(j32, 0.2);
+    EXPECT_LT(j32, 0.9);
+}
+
+TEST(FootprintProbeTest, SignatureTriggersFireOnCalls)
+{
+    FootprintProbe probe(TriggerKind::Signature, 1);
+    DynInst call;
+    call.pc = 0x1000;
+    call.kind = InstKind::Call;
+    call.taken = true;
+    call.target = 0x400000;
+    probe.onCommit(call);
+    EXPECT_EQ(probe.triggersSeen(), 1u);
+    probe.onCommit(plain(0x400000));
+    EXPECT_EQ(probe.triggersSeen(), 1u);
+}
+
+TEST(FootprintProbeTest, BlockTriggersFireOnRegionChange)
+{
+    FootprintProbe probe(TriggerKind::BlockAddress, 1);
+    body(probe, 0x400000, 4); // one 8-block region
+    EXPECT_EQ(probe.triggersSeen(), 1u);
+    body(probe, 0x500000, 1); // new region
+    EXPECT_EQ(probe.triggersSeen(), 2u);
+}
+
+TEST(FootprintProbeTest, SamplingReducesCollectors)
+{
+    FootprintProbe sampled(TriggerKind::Bundle, 4);
+    for (int rep = 0; rep < 8; ++rep) {
+        sampled.onCommit(taggedCall(0x1000, 0x400000));
+        body(sampled, 0x400000, 4);
+    }
+    EXPECT_EQ(sampled.triggersSeen(), 8u);
+    // With period 4, only every 4th trigger opened a collector; with
+    // identical footprints the score is still 1 when defined.
+}
+
+} // namespace
+} // namespace hp

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "sim/metrics.hh"
+
+namespace hp
+{
+namespace
+{
+
+SimMetrics
+makeBaseline()
+{
+    SimMetrics m;
+    m.cycles = 1'000'000;
+    m.instructions = 800'000;
+    m.mem.demandL1Misses = 10'000;
+    m.mem.demandL2Misses = 4'000;
+    m.mem.missCyclesL2 = 50'000;
+    m.mem.missCyclesLlc = 100'000;
+    m.mem.dramDemandBytes = 1'000'000;
+    m.dataDramBytes = 3'000'000;
+    m.longRangeL2Misses = 2'000;
+    return m;
+}
+
+TEST(MetricsTest, SpeedupFromIpcRatio)
+{
+    SimMetrics base = makeBaseline();
+    SimMetrics run = base;
+    run.cycles = 900'000; // 11.1% faster
+    PairedMetrics paired = pairedMetrics(run, base);
+    EXPECT_NEAR(paired.speedup, 1'000'000.0 / 900'000.0 - 1.0, 1e-9);
+}
+
+TEST(MetricsTest, CoverageIsMissReduction)
+{
+    SimMetrics base = makeBaseline();
+    SimMetrics run = base;
+    run.mem.demandL1Misses = 6'000;
+    run.mem.demandL2Misses = 1'000;
+    PairedMetrics paired = pairedMetrics(run, base);
+    EXPECT_NEAR(paired.coverageL1, 0.4, 1e-9);
+    EXPECT_NEAR(paired.coverageL2, 0.75, 1e-9);
+}
+
+TEST(MetricsTest, NegativeCoverageOnPollution)
+{
+    SimMetrics base = makeBaseline();
+    SimMetrics run = base;
+    run.mem.demandL1Misses = 12'000; // prefetcher made it worse
+    PairedMetrics paired = pairedMetrics(run, base);
+    EXPECT_LT(paired.coverageL1, 0.0);
+}
+
+TEST(MetricsTest, BandwidthRatio)
+{
+    SimMetrics base = makeBaseline();
+    SimMetrics run = base;
+    run.mem.dramExtBytes = 200'000;
+    run.mem.dramMetadataReadBytes = 100'000;
+    run.mem.dramMetadataWriteBytes = 100'000;
+    PairedMetrics paired = pairedMetrics(run, base);
+    double expected = double(base.totalDramBytes() + 400'000) /
+                      double(base.totalDramBytes());
+    EXPECT_NEAR(paired.bandwidthRatio, expected, 1e-9);
+}
+
+TEST(MetricsTest, LongRangeElimination)
+{
+    SimMetrics base = makeBaseline();
+    SimMetrics run = base;
+    run.longRangeL2Misses = 500;
+    PairedMetrics paired = pairedMetrics(run, base);
+    EXPECT_NEAR(paired.longRangeEliminated, 0.75, 1e-9);
+    // No credit when misses grow.
+    run.longRangeL2Misses = 3'000;
+    EXPECT_DOUBLE_EQ(pairedMetrics(run, base).longRangeEliminated, 0.0);
+}
+
+TEST(MetricsTest, MissLatencyRatio)
+{
+    SimMetrics base = makeBaseline();
+    SimMetrics run = base;
+    run.mem.missCyclesLlc = 25'000;
+    PairedMetrics paired = pairedMetrics(run, base);
+    EXPECT_NEAR(paired.missLatencyRatio, 75'000.0 / 150'000.0, 1e-9);
+}
+
+TEST(MetricsTest, AccuracyAndLatenessFromPrefetchStats)
+{
+    SimMetrics base = makeBaseline();
+    SimMetrics run = base;
+    run.mem.ext.inserted = 1'000;
+    run.mem.ext.usefulL1 = 400;
+    run.mem.ext.lateMerges = 100;
+    PairedMetrics paired = pairedMetrics(run, base);
+    EXPECT_NEAR(paired.accuracy, 0.5, 1e-9);
+    EXPECT_NEAR(paired.lateFraction, 0.2, 1e-9);
+}
+
+TEST(MetricsTest, ZeroBaselineSafe)
+{
+    SimMetrics zero;
+    PairedMetrics paired = pairedMetrics(zero, zero);
+    EXPECT_DOUBLE_EQ(paired.speedup, 0.0);
+    EXPECT_DOUBLE_EQ(paired.coverageL1, 0.0);
+    EXPECT_DOUBLE_EQ(paired.bandwidthRatio, 1.0);
+}
+
+TEST(MetricsTest, TotalDramBytesSumsAllSources)
+{
+    SimMetrics m;
+    m.mem.dramDemandBytes = 1;
+    m.mem.dramFdipBytes = 2;
+    m.mem.dramExtBytes = 4;
+    m.mem.dramMetadataReadBytes = 8;
+    m.mem.dramMetadataWriteBytes = 16;
+    m.dataDramBytes = 32;
+    EXPECT_EQ(m.totalDramBytes(), 63u);
+}
+
+} // namespace
+} // namespace hp

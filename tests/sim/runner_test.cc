@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "sim/runner.hh"
+
+namespace hp
+{
+namespace
+{
+
+SimConfig
+quickConfig(PrefetcherKind kind = PrefetcherKind::None)
+{
+    SimConfig config;
+    config.workload = "caddy";
+    config.warmupInsts = 100'000;
+    config.measureInsts = 200'000;
+    config.prefetcher = kind;
+    return config;
+}
+
+TEST(RunnerTest, MemoizesIdenticalConfigs)
+{
+    std::size_t before = ExperimentRunner::simulationsRun();
+    const SimMetrics &a = ExperimentRunner::run(quickConfig());
+    std::size_t after_first = ExperimentRunner::simulationsRun();
+    const SimMetrics &b = ExperimentRunner::run(quickConfig());
+    std::size_t after_second = ExperimentRunner::simulationsRun();
+    EXPECT_GE(after_first, before); // may have been cached already
+    EXPECT_EQ(after_second, after_first);
+    EXPECT_EQ(&a, &b);
+}
+
+TEST(RunnerTest, ConfigKeyDistinguishesEveryKnob)
+{
+    SimConfig base = quickConfig();
+    std::string base_key = ExperimentRunner::configKey(base);
+
+    SimConfig c1 = base;
+    c1.prefetcher = PrefetcherKind::Hierarchical;
+    EXPECT_NE(ExperimentRunner::configKey(c1), base_key);
+
+    SimConfig c2 = base;
+    c2.mem.l1iBytes *= 2;
+    EXPECT_NE(ExperimentRunner::configKey(c2), base_key);
+
+    SimConfig c3 = base;
+    c3.hier.matEntries = 1024;
+    EXPECT_NE(ExperimentRunner::configKey(c3), base_key);
+
+    SimConfig c4 = base;
+    c4.mana.lookahead = 7;
+    EXPECT_NE(ExperimentRunner::configKey(c4), base_key);
+
+    SimConfig c5 = base;
+    c5.extPrefetchToL2 = true;
+    EXPECT_NE(ExperimentRunner::configKey(c5), base_key);
+
+    SimConfig c6 = base;
+    c6.btbEntries = 0;
+    EXPECT_NE(ExperimentRunner::configKey(c6), base_key);
+
+    SimConfig c7 = base;
+    c7.workload = "gin";
+    EXPECT_NE(ExperimentRunner::configKey(c7), base_key);
+}
+
+TEST(RunnerTest, RunPairBaselineIsFdipOnly)
+{
+    SimConfig config = quickConfig(PrefetcherKind::Hierarchical);
+    // Bundles must recur for replays to happen: give this test a
+    // window long enough for several requests.
+    config.warmupInsts = 800'000;
+    config.measureInsts = 1'200'000;
+    RunPair pair = ExperimentRunner::runPair(config);
+    // The baseline has no Ext prefetches.
+    EXPECT_EQ(pair.base.mem.ext.issued, 0u);
+    EXPECT_GT(pair.run.mem.ext.issued, 0u);
+    // Paired metrics are consistent with the two runs.
+    EXPECT_NEAR(pair.paired.speedup,
+                pair.run.ipc() / pair.base.ipc() - 1.0, 1e-12);
+}
+
+TEST(RunnerTest, DefaultConfigMatchesTableOne)
+{
+    SimConfig config = defaultConfig("tidb-tpcc");
+    EXPECT_EQ(config.ftqEntries, 24u);
+    EXPECT_EQ(config.btbEntries, 8192u);
+    EXPECT_EQ(config.mem.l1iBytes, 32u * 1024);
+    EXPECT_EQ(config.mem.l1iWays, 8u);
+    EXPECT_EQ(config.mem.l1iLatency, 2u);
+    EXPECT_EQ(config.mem.l2Latency, 14u);
+    EXPECT_EQ(config.mem.llcLatency, 50u);
+    EXPECT_EQ(config.mem.l1iMshrs, 16u);
+    EXPECT_EQ(config.robEntries, 352u);
+    EXPECT_EQ(config.commitWidth, 6u);
+    EXPECT_EQ(config.hier.matEntries, 512u);
+    EXPECT_EQ(config.hier.metadataBufferBytes, 512u * 1024);
+}
+
+TEST(RunnerTest, DefaultConfigEnablesBundleStatsForHp)
+{
+    SimConfig hp_config =
+        defaultConfig("caddy", PrefetcherKind::Hierarchical);
+    EXPECT_TRUE(hp_config.hier.trackBundleStats);
+    SimConfig base = defaultConfig("caddy");
+    EXPECT_EQ(base.prefetcher, PrefetcherKind::None);
+}
+
+} // namespace
+} // namespace hp

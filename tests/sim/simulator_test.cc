@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hh"
+
+namespace hp
+{
+namespace
+{
+
+SimConfig
+quickConfig(PrefetcherKind kind = PrefetcherKind::None)
+{
+    SimConfig config;
+    config.workload = "caddy";
+    config.warmupInsts = 150'000;
+    config.measureInsts = 300'000;
+    config.prefetcher = kind;
+    return config;
+}
+
+TEST(SimulatorTest, RunsAndReportsSaneMetrics)
+{
+    Simulator sim(quickConfig());
+    SimMetrics m = sim.run();
+    // The final commit group may overshoot by up to the commit width.
+    EXPECT_GE(m.instructions, 300'000u);
+    EXPECT_LT(m.instructions, 300'000u + 6);
+    EXPECT_GT(m.cycles, m.instructions / 6); // bounded by commit width
+    EXPECT_GT(m.ipc(), 0.1);
+    EXPECT_LT(m.ipc(), 6.0);
+    EXPECT_GT(m.mem.demandAccesses, 0u);
+    EXPECT_GT(m.condBranches, 0u);
+    EXPECT_GT(m.engine.requests, 0u);
+}
+
+TEST(SimulatorTest, Deterministic)
+{
+    SimMetrics a = Simulator(quickConfig()).run();
+    SimMetrics b = Simulator(quickConfig()).run();
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.mem.demandL1Misses, b.mem.demandL1Misses);
+    EXPECT_EQ(a.condMispredicts, b.condMispredicts);
+    EXPECT_EQ(a.mem.fdip.issued, b.mem.fdip.issued);
+}
+
+TEST(SimulatorTest, PerfectL1IEliminatesMissesAndBeatsBaseline)
+{
+    SimMetrics base = Simulator(quickConfig()).run();
+    SimMetrics perfect =
+        Simulator(quickConfig(PrefetcherKind::PerfectL1I)).run();
+    EXPECT_EQ(perfect.mem.demandL1Misses, 0u);
+    EXPECT_GT(perfect.ipc(), base.ipc());
+}
+
+TEST(SimulatorTest, FdipIssuesPrefetches)
+{
+    SimMetrics m = Simulator(quickConfig()).run();
+    EXPECT_GT(m.mem.fdip.issued, 0u);
+    EXPECT_GT(m.mem.fdip.usefulL1 + m.mem.fdip.lateMerges, 0u);
+}
+
+TEST(SimulatorTest, HierarchicalPrefetcherEngages)
+{
+    SimConfig config = quickConfig(PrefetcherKind::Hierarchical);
+    config.hier.trackBundleStats = true;
+    Simulator sim(config);
+    SimMetrics m = sim.run();
+    EXPECT_TRUE(m.hierActive);
+    EXPECT_GT(m.hier.bundlesStarted, 0u);
+    EXPECT_GT(m.hier.replaysStarted, 0u);
+    EXPECT_GT(m.mem.ext.issued, 0u);
+    EXPECT_GT(m.hier.metadataWriteBytes, 0u);
+}
+
+TEST(SimulatorTest, InfiniteBtbReducesBtbMisses)
+{
+    SimConfig finite = quickConfig();
+    SimConfig infinite = quickConfig();
+    infinite.btbEntries = 0;
+    SimMetrics mf = Simulator(finite).run();
+    SimMetrics mi = Simulator(infinite).run();
+    EXPECT_LT(mi.btbMissBlocks, mf.btbMissBlocks);
+    EXPECT_GE(mi.ipc(), mf.ipc() * 0.99);
+}
+
+TEST(SimulatorTest, SmallerL1IMeansMoreMisses)
+{
+    SimConfig big = quickConfig();
+    SimConfig small = quickConfig();
+    small.mem.l1iBytes = 8 * 1024;
+    SimMetrics mb = Simulator(big).run();
+    SimMetrics ms = Simulator(small).run();
+    EXPECT_GT(ms.mem.demandL1Misses, mb.mem.demandL1Misses);
+    EXPECT_LE(ms.ipc(), mb.ipc());
+}
+
+TEST(SimulatorTest, ReuseTrackingCountsLongRangeAccesses)
+{
+    SimConfig config = quickConfig();
+    config.trackReuse = true;
+    SimMetrics m = Simulator(config).run();
+    EXPECT_GT(m.longRangeAccesses, 0u);
+    EXPECT_LE(m.longRangeL2Misses, m.longRangeAccesses);
+}
+
+TEST(SimulatorTest, MispredictsCostCycles)
+{
+    // Removing the mispredict penalty must speed the core up.
+    SimConfig slow = quickConfig();
+    SimConfig fast = quickConfig();
+    fast.mispredictPenalty = 0;
+    SimMetrics m_slow = Simulator(slow).run();
+    SimMetrics m_fast = Simulator(fast).run();
+    EXPECT_GT(m_fast.ipc(), m_slow.ipc());
+}
+
+TEST(SimulatorTest, BackendStallsAccounted)
+{
+    SimMetrics m = Simulator(quickConfig()).run();
+    EXPECT_GT(m.backendStallCycles, 0u);
+    EXPECT_LT(m.backendStallCycles, m.cycles);
+}
+
+TEST(SimulatorTest, StreamIdenticalAcrossPrefetchers)
+{
+    // The committed instruction stream must not depend on the
+    // prefetcher (timing-independent workload model): engine stats
+    // must match exactly between runs.
+    SimMetrics a = Simulator(quickConfig()).run();
+    SimMetrics b =
+        Simulator(quickConfig(PrefetcherKind::Hierarchical)).run();
+    EXPECT_EQ(a.engine.calls, b.engine.calls);
+    EXPECT_EQ(a.engine.condBranches, b.engine.condBranches);
+    EXPECT_EQ(a.engine.taggedInsts, b.engine.taggedInsts);
+}
+
+} // namespace
+} // namespace hp

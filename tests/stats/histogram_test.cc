@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "stats/histogram.hh"
+
+namespace hp
+{
+namespace
+{
+
+TEST(AccumulatorTest, EmptyIsZero)
+{
+    Accumulator acc;
+    EXPECT_EQ(acc.count(), 0u);
+    EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(acc.min(), 0.0);
+    EXPECT_DOUBLE_EQ(acc.max(), 0.0);
+}
+
+TEST(AccumulatorTest, TracksMeanMinMax)
+{
+    Accumulator acc;
+    acc.sample(2.0);
+    acc.sample(4.0);
+    acc.sample(9.0);
+    EXPECT_EQ(acc.count(), 3u);
+    EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+    EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+}
+
+TEST(AccumulatorTest, NegativeValues)
+{
+    Accumulator acc;
+    acc.sample(-5.0);
+    acc.sample(5.0);
+    EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(acc.min(), -5.0);
+}
+
+TEST(AccumulatorTest, ResetClears)
+{
+    Accumulator acc;
+    acc.sample(1.0);
+    acc.reset();
+    EXPECT_EQ(acc.count(), 0u);
+    acc.sample(7.0);
+    EXPECT_DOUBLE_EQ(acc.min(), 7.0);
+}
+
+TEST(HistogramTest, BucketsPopulateCorrectly)
+{
+    Histogram hist(10.0, 4); // [0,10) [10,20) [20,30) [30,40) overflow
+    hist.sample(0.0);
+    hist.sample(9.9);
+    hist.sample(10.0);
+    hist.sample(35.0);
+    hist.sample(100.0); // overflow
+    const auto &buckets = hist.buckets();
+    ASSERT_EQ(buckets.size(), 5u);
+    EXPECT_EQ(buckets[0], 2u);
+    EXPECT_EQ(buckets[1], 1u);
+    EXPECT_EQ(buckets[2], 0u);
+    EXPECT_EQ(buckets[3], 1u);
+    EXPECT_EQ(buckets[4], 1u);
+    EXPECT_EQ(hist.count(), 5u);
+}
+
+TEST(HistogramTest, WeightedSamples)
+{
+    Histogram hist(1.0, 10);
+    hist.sample(5.0, 7);
+    EXPECT_EQ(hist.count(), 7u);
+    EXPECT_EQ(hist.buckets()[5], 7u);
+}
+
+TEST(HistogramTest, MeanMatchesSamples)
+{
+    Histogram hist(1.0, 100);
+    hist.sample(10.0);
+    hist.sample(20.0);
+    EXPECT_DOUBLE_EQ(hist.mean(), 15.0);
+}
+
+TEST(HistogramTest, NegativeSamplesLandInFirstBucket)
+{
+    Histogram hist(1.0, 4);
+    hist.sample(-3.0);
+    EXPECT_EQ(hist.buckets()[0], 1u);
+}
+
+TEST(HistogramTest, PercentileMonotonic)
+{
+    Histogram hist(1.0, 1000);
+    for (int i = 0; i < 1000; ++i)
+        hist.sample(double(i));
+    double p50 = hist.percentile(0.5);
+    double p90 = hist.percentile(0.9);
+    double p99 = hist.percentile(0.99);
+    EXPECT_LE(p50, p90);
+    EXPECT_LE(p90, p99);
+    EXPECT_NEAR(p50, 500.0, 10.0);
+    EXPECT_NEAR(p90, 900.0, 10.0);
+}
+
+TEST(HistogramTest, PercentileEmpty)
+{
+    Histogram hist(1.0, 4);
+    EXPECT_DOUBLE_EQ(hist.percentile(0.9), 0.0);
+}
+
+TEST(HistogramTest, ResetClears)
+{
+    Histogram hist(1.0, 4);
+    hist.sample(2.0);
+    hist.reset();
+    EXPECT_EQ(hist.count(), 0u);
+    EXPECT_EQ(hist.buckets()[2], 0u);
+}
+
+} // namespace
+} // namespace hp

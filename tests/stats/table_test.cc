@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "stats/table.hh"
+
+namespace hp
+{
+namespace
+{
+
+TEST(AsciiTableTest, RendersHeaderAndRows)
+{
+    AsciiTable table("Title");
+    table.setHeader({"name", "value"});
+    table.addRow({"alpha", "1"});
+    table.addRow({"bb", "22"});
+    std::string out = table.render();
+    EXPECT_NE(out.find("Title"), std::string::npos);
+    EXPECT_NE(out.find("| name "), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("22"), std::string::npos);
+    // Separator line present.
+    EXPECT_NE(out.find("|---"), std::string::npos);
+}
+
+TEST(AsciiTableTest, ColumnsAligned)
+{
+    AsciiTable table;
+    table.setHeader({"a", "b"});
+    table.addRow({"longcell", "x"});
+    std::string out = table.render();
+    // Every line must have the same length (aligned columns).
+    std::size_t pos = 0, len = std::string::npos;
+    while (pos < out.size()) {
+        std::size_t eol = out.find('\n', pos);
+        if (eol == std::string::npos)
+            break;
+        if (len == std::string::npos)
+            len = eol - pos;
+        EXPECT_EQ(eol - pos, len);
+        pos = eol + 1;
+    }
+}
+
+TEST(AsciiTableTest, CsvEscapesSpecialCharacters)
+{
+    AsciiTable table;
+    table.setHeader({"k", "v"});
+    table.addRow({"a,b", "say \"hi\""});
+    std::string csv = table.renderCsv();
+    EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+    EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(AsciiTableTest, NumRows)
+{
+    AsciiTable table;
+    EXPECT_EQ(table.numRows(), 0u);
+    table.addRow({"x"});
+    EXPECT_EQ(table.numRows(), 1u);
+}
+
+TEST(FormatTest, FmtDouble)
+{
+    EXPECT_EQ(fmtDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(fmtDouble(-1.5, 1), "-1.5");
+    EXPECT_EQ(fmtDouble(2.0, 0), "2");
+}
+
+TEST(FormatTest, FmtPercent)
+{
+    EXPECT_EQ(fmtPercent(0.066), "6.6%");
+    EXPECT_EQ(fmtPercent(1.0, 0), "100%");
+    EXPECT_EQ(fmtPercent(-0.014), "-1.4%");
+}
+
+TEST(FormatTest, FmtBytes)
+{
+    EXPECT_EQ(fmtBytes(512.0), "512.0B");
+    EXPECT_EQ(fmtBytes(2048.0), "2.0KB");
+    EXPECT_EQ(fmtBytes(512.0 * 1024.0), "512.0KB");
+    EXPECT_EQ(fmtBytes(3.0 * 1024.0 * 1024.0), "3.0MB");
+}
+
+} // namespace
+} // namespace hp

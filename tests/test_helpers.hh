@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Shared helpers for unit tests: tiny hand-built programs with known
+ * call-graph shapes, so analyses can be checked against exact values.
+ */
+
+#ifndef HP_TESTS_TEST_HELPERS_HH
+#define HP_TESTS_TEST_HELPERS_HH
+
+#include <vector>
+
+#include "binary/program.hh"
+
+namespace hp::test
+{
+
+/** Adds a leaf function: a run of @p insts-2 plus Ret. */
+inline FuncId
+addLeaf(Program &program, const std::string &name, std::uint32_t insts,
+        std::uint16_t module = 0)
+{
+    FuncId id = program.addFunction(name, module);
+    Function &fn = program.func(id);
+    if (insts > 1) {
+        BodyOp run;
+        run.kind = OpKind::Run;
+        run.offset = 0;
+        run.length = insts - 1;
+        fn.body.push_back(run);
+    }
+    BodyOp ret;
+    ret.kind = OpKind::Ret;
+    ret.offset = insts > 1 ? insts - 1 : 0;
+    fn.body.push_back(ret);
+    return id;
+}
+
+/**
+ * Adds a caller: alternating short runs and unconditional call sites
+ * to @p callees (each with execProb 100), ending in Ret.
+ */
+inline FuncId
+addCaller(Program &program, const std::string &name,
+          const std::vector<FuncId> &callees, std::uint16_t module = 0,
+          std::uint32_t run_len = 4)
+{
+    FuncId id = program.addFunction(name, module);
+    Function &fn = program.func(id);
+    std::uint32_t cursor = 0;
+    for (FuncId callee : callees) {
+        BodyOp run;
+        run.kind = OpKind::Run;
+        run.offset = cursor;
+        run.length = run_len;
+        fn.body.push_back(run);
+        cursor += run_len;
+
+        CallTarget target;
+        target.candidates = {callee};
+        fn.targets.push_back(target);
+
+        BodyOp call;
+        call.kind = OpKind::CallSite;
+        call.offset = cursor;
+        call.targetIdx =
+            static_cast<std::uint32_t>(fn.targets.size() - 1);
+        call.execProb = 100;
+        fn.body.push_back(call);
+        ++cursor;
+    }
+    BodyOp ret;
+    ret.kind = OpKind::Ret;
+    ret.offset = cursor;
+    fn.body.push_back(ret);
+    return id;
+}
+
+} // namespace hp::test
+
+#endif // HP_TESTS_TEST_HELPERS_HH

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "util/bitvec.hh"
+
+namespace hp
+{
+namespace
+{
+
+TEST(BitVecTest, StartsEmpty)
+{
+    BitVec v(100);
+    EXPECT_EQ(v.size(), 100u);
+    EXPECT_EQ(v.count(), 0u);
+    for (std::size_t i = 0; i < 100; ++i)
+        EXPECT_FALSE(v.test(i));
+}
+
+TEST(BitVecTest, SetAndTest)
+{
+    BitVec v(130);
+    v.set(0);
+    v.set(63);
+    v.set(64);
+    v.set(129);
+    EXPECT_TRUE(v.test(0));
+    EXPECT_TRUE(v.test(63));
+    EXPECT_TRUE(v.test(64));
+    EXPECT_TRUE(v.test(129));
+    EXPECT_FALSE(v.test(1));
+    EXPECT_FALSE(v.test(128));
+    EXPECT_EQ(v.count(), 4u);
+}
+
+TEST(BitVecTest, Reset)
+{
+    BitVec v(64);
+    v.set(10);
+    EXPECT_TRUE(v.test(10));
+    v.reset(10);
+    EXPECT_FALSE(v.test(10));
+    EXPECT_EQ(v.count(), 0u);
+}
+
+TEST(BitVecTest, OrWith)
+{
+    BitVec a(200), b(200);
+    a.set(3);
+    a.set(150);
+    b.set(150);
+    b.set(199);
+    a.orWith(b);
+    EXPECT_TRUE(a.test(3));
+    EXPECT_TRUE(a.test(150));
+    EXPECT_TRUE(a.test(199));
+    EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(BitVecTest, IntersectCount)
+{
+    BitVec a(128), b(128);
+    for (std::size_t i = 0; i < 128; i += 2)
+        a.set(i);
+    for (std::size_t i = 0; i < 128; i += 3)
+        b.set(i);
+    // Multiples of 6 in [0, 128): 0, 6, ..., 126 -> 22 values.
+    EXPECT_EQ(a.intersectCount(b), 22u);
+}
+
+TEST(BitVecTest, ClearResetsAll)
+{
+    BitVec v(77);
+    for (std::size_t i = 0; i < 77; ++i)
+        v.set(i);
+    EXPECT_EQ(v.count(), 77u);
+    v.clear();
+    EXPECT_EQ(v.count(), 0u);
+}
+
+TEST(BitVecTest, EqualityComparesContents)
+{
+    BitVec a(64), b(64);
+    EXPECT_EQ(a, b);
+    a.set(5);
+    EXPECT_NE(a, b);
+    b.set(5);
+    EXPECT_EQ(a, b);
+}
+
+} // namespace
+} // namespace hp

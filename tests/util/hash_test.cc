@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/hash.hh"
+#include "util/types.hh"
+
+namespace hp
+{
+namespace
+{
+
+TEST(HashTest, Mix64IsDeterministic)
+{
+    EXPECT_EQ(mix64(42), mix64(42));
+    EXPECT_NE(mix64(42), mix64(43));
+}
+
+TEST(HashTest, Mix64SpreadsSequentialInputs)
+{
+    // Sequential addresses must not collide in the low bits (table
+    // indexing depends on it).
+    std::set<std::uint64_t> low_bits;
+    for (std::uint64_t i = 0; i < 512; ++i)
+        low_bits.insert(mix64(i * 4) & 0x3ff);
+    EXPECT_GT(low_bits.size(), 300u);
+}
+
+TEST(HashTest, HashCombineOrderMatters)
+{
+    std::uint64_t ab = hashCombine(hashCombine(0, 1), 2);
+    std::uint64_t ba = hashCombine(hashCombine(0, 2), 1);
+    EXPECT_NE(ab, ba);
+}
+
+TEST(HashTest, FoldToRespectsWidth)
+{
+    for (unsigned bits : {1u, 8u, 24u, 63u}) {
+        for (std::uint64_t v :
+             {0ull, 1ull, 0xdeadbeefull, ~0ull}) {
+            EXPECT_LT(foldTo(v, bits), 1ull << bits);
+        }
+    }
+}
+
+TEST(HashTest, FoldToPreservesEntropyAt24Bits)
+{
+    // Bundle IDs are 24-bit folds of mixed addresses; a thousand
+    // distinct addresses must map to mostly distinct IDs.
+    std::set<std::uint64_t> ids;
+    for (std::uint64_t pc = 0x400000; pc < 0x400000 + 1000 * 4; pc += 4)
+        ids.insert(foldTo(mix64(pc), 24));
+    EXPECT_GT(ids.size(), 990u);
+}
+
+TEST(TypesTest, BlockMath)
+{
+    EXPECT_EQ(blockAlign(0x1000), 0x1000u);
+    EXPECT_EQ(blockAlign(0x103f), 0x1000u);
+    EXPECT_EQ(blockAlign(0x1040), 0x1040u);
+    EXPECT_EQ(blockNumber(0x1040), 0x41u);
+    EXPECT_EQ(pageAlign(0x1fff), 0x1000u);
+    EXPECT_EQ(roundUp(15, 16), 16u);
+    EXPECT_EQ(roundUp(16, 16), 16u);
+    EXPECT_EQ(roundUp(17, 16), 32u);
+}
+
+} // namespace
+} // namespace hp

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/app_profile.hh"
+
+namespace hp
+{
+namespace
+{
+
+TEST(AppProfileTest, AllElevenWorkloadsRegistered)
+{
+    EXPECT_EQ(allWorkloads().size(), 11u);
+    for (const std::string &name : allWorkloads()) {
+        const AppProfile &profile = appProfile(name);
+        EXPECT_EQ(profile.name, name);
+        EXPECT_FALSE(profile.binary.empty());
+    }
+}
+
+TEST(AppProfileTest, EightDistinctBinaries)
+{
+    EXPECT_EQ(allBinaries().size(), 8u);
+    std::set<std::string> from_workloads;
+    for (const std::string &name : allWorkloads())
+        from_workloads.insert(appProfile(name).binary);
+    std::set<std::string> binaries(allBinaries().begin(),
+                                   allBinaries().end());
+    EXPECT_EQ(from_workloads, binaries);
+}
+
+TEST(AppProfileTest, SharedBinariesShareStaticShape)
+{
+    // Workloads on the same binary must agree on every field the
+    // program builder consumes, or the image cache would be wrong.
+    const AppProfile &tpcc = appProfile("tidb-tpcc");
+    const AppProfile &sysbench = appProfile("tidb-sysbench");
+    EXPECT_EQ(tpcc.binary, sysbench.binary);
+    EXPECT_EQ(tpcc.binarySeed, sysbench.binarySeed);
+    EXPECT_EQ(tpcc.numStages, sysbench.numStages);
+    EXPECT_EQ(tpcc.routinesPerStage, sysbench.routinesPerStage);
+    EXPECT_EQ(tpcc.funcsPerRoutine, sysbench.funcsPerRoutine);
+    EXPECT_EQ(tpcc.sharedUtilFuncs, sysbench.sharedUtilFuncs);
+    EXPECT_EQ(tpcc.coldLibraries, sysbench.coldLibraries);
+    // But they differ dynamically.
+    EXPECT_NE(tpcc.requestSeed, sysbench.requestSeed);
+}
+
+TEST(AppProfileTest, StructurallyValid)
+{
+    for (const std::string &name : allWorkloads()) {
+        const AppProfile &p = appProfile(name);
+        EXPECT_EQ(p.routinesPerStage.size(), p.numStages) << name;
+        EXPECT_GT(p.requestTypes, 0u) << name;
+        EXPECT_GE(p.rowsMax, p.rowsMin) << name;
+        EXPECT_LE(p.branchJitter, 100u) << name;
+        EXPECT_LE(p.callJitter, 100u) << name;
+        EXPECT_LE(p.typeSensitivePercent, 100u) << name;
+        EXPECT_GT(p.funcInstsMax, p.funcInstsMin) << name;
+    }
+}
+
+TEST(AppProfileTest, WorkloadForBinaryRoundTrips)
+{
+    for (const std::string &binary : allBinaries()) {
+        const std::string &workload = workloadForBinary(binary);
+        EXPECT_EQ(appProfile(workload).binary, binary);
+    }
+}
+
+TEST(AppProfileDeathTest, UnknownWorkloadFatals)
+{
+    EXPECT_DEATH(appProfile("no-such-app"), "unknown workload");
+}
+
+} // namespace
+} // namespace hp

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "core/bundle_analysis.hh"
+#include "workload/program_builder.hh"
+
+namespace hp
+{
+namespace
+{
+
+TEST(ProgramBuilderTest, BuildsValidProgram)
+{
+    auto app = ProgramBuilder::build(appProfile("caddy"));
+    app->program.validate();
+    EXPECT_TRUE(app->program.isLaidOut());
+    EXPECT_GT(app->program.numFunctions(), 1000u);
+    EXPECT_GT(app->program.totalCodeBytes(), 4ull * 1024 * 1024);
+}
+
+TEST(ProgramBuilderTest, DeterministicForSameSeed)
+{
+    auto a = ProgramBuilder::build(appProfile("caddy"));
+    auto b = ProgramBuilder::build(appProfile("caddy"));
+    ASSERT_EQ(a->program.numFunctions(), b->program.numFunctions());
+    EXPECT_EQ(a->program.totalCodeBytes(), b->program.totalCodeBytes());
+    EXPECT_EQ(a->image.section.taggedInstructions,
+              b->image.section.taggedInstructions);
+    for (FuncId f = 0; f < 100; ++f) {
+        EXPECT_EQ(a->program.func(f).addr, b->program.func(f).addr);
+        EXPECT_EQ(a->program.func(f).body.size(),
+                  b->program.func(f).body.size());
+    }
+}
+
+TEST(ProgramBuilderTest, CachedSharesBinaryAcrossWorkloads)
+{
+    auto tpcc = ProgramBuilder::cached(appProfile("tidb-tpcc"));
+    auto sysbench = ProgramBuilder::cached(appProfile("tidb-sysbench"));
+    EXPECT_EQ(tpcc.get(), sysbench.get());
+    auto mysql = ProgramBuilder::cached(appProfile("mysql-ycsb"));
+    EXPECT_NE(tpcc.get(), mysql.get());
+}
+
+TEST(ProgramBuilderTest, WiringIsComplete)
+{
+    auto app = ProgramBuilder::cached(appProfile("caddy"));
+    const AppProfile &profile = appProfile("caddy");
+    EXPECT_NE(app->requestDriver, kNoFunc);
+    ASSERT_EQ(app->dispatchers.size(), profile.numStages);
+    ASSERT_EQ(app->stageRoutines.size(), profile.numStages);
+    for (unsigned s = 0; s < profile.numStages; ++s) {
+        EXPECT_EQ(app->stageRoutines[s].size(),
+                  profile.routinesPerStage[s])
+            << "stage " << s;
+    }
+    EXPECT_FALSE(app->irqRoutines.empty());
+}
+
+TEST(ProgramBuilderTest, BundleEntriesInPaperRange)
+{
+    // Table 4: 2.3% - 6.1% of functions are Bundle entries.
+    for (const std::string &binary : allBinaries()) {
+        auto app = ProgramBuilder::cached(
+            appProfile(workloadForBinary(binary)));
+        double pct = app->image.analysis.entryFraction * 100.0;
+        EXPECT_GT(pct, 1.0) << binary;
+        EXPECT_LT(pct, 8.0) << binary;
+    }
+}
+
+TEST(ProgramBuilderTest, DispatchersDivergeIntoRoutines)
+{
+    auto app = ProgramBuilder::cached(appProfile("tidb-tpcc"));
+    // Every multi-routine stage dispatcher has an indirect call site
+    // whose candidates are exactly the stage's routines.
+    const AppProfile &profile = appProfile("tidb-tpcc");
+    for (unsigned s = 0; s < profile.numStages; ++s) {
+        if (profile.routinesPerStage[s] < 2)
+            continue;
+        const Function &dispatcher =
+            app->program.func(app->dispatchers[s]);
+        bool found = false;
+        for (const BodyOp &op : dispatcher.body) {
+            if (op.kind != OpKind::CallSite || !op.indirect)
+                continue;
+            EXPECT_EQ(dispatcher.targets[op.targetIdx].candidates,
+                      app->stageRoutines[s]);
+            found = true;
+        }
+        EXPECT_TRUE(found) << "stage " << s;
+    }
+}
+
+TEST(ProgramBuilderTest, RoutineRootsAreTaggedEntries)
+{
+    // Multi-routine stage roots should be Bundle entries (the paper's
+    // divergence points).
+    auto app = ProgramBuilder::cached(appProfile("tidb-tpcc"));
+    const AppProfile &profile = appProfile("tidb-tpcc");
+    unsigned tagged_roots = 0, total_roots = 0;
+    for (unsigned s = 0; s < profile.numStages; ++s) {
+        if (profile.routinesPerStage[s] < 2)
+            continue;
+        for (FuncId root : app->stageRoutines[s]) {
+            ++total_roots;
+            tagged_roots += app->image.analysis.isEntry(root);
+        }
+    }
+    EXPECT_GT(total_roots, 0u);
+    // Most (not necessarily all) routine roots are divergence points.
+    EXPECT_GT(double(tagged_roots) / total_roots, 0.5);
+}
+
+TEST(ProgramBuilderTest, StaticFootprintExceedsThresholdForDriver)
+{
+    auto app = ProgramBuilder::cached(appProfile("caddy"));
+    CallGraph graph(app->program);
+    const auto &reach = graph.reachableSizes();
+    EXPECT_GT(reach[app->requestDriver], kDefaultBundleThreshold);
+}
+
+} // namespace
+} // namespace hp

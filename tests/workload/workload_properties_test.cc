@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "workload/request_engine.hh"
+
+namespace hp
+{
+namespace
+{
+
+/** Calls minus returns can differ by at most the live stack depth. */
+constexpr std::uint64_t kMaxDepthSlack = 128;
+
+/**
+ * Property sweep over all 11 workloads: every application the paper
+ * evaluates must produce a structurally valid program and a
+ * well-formed, server-shaped instruction stream.
+ */
+class WorkloadProperties
+    : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        profile = &appProfile(GetParam());
+        app = ProgramBuilder::cached(*profile);
+    }
+
+    const AppProfile *profile = nullptr;
+    std::shared_ptr<const BuiltApp> app;
+};
+
+TEST_P(WorkloadProperties, ProgramValidates)
+{
+    app->program.validate();
+    EXPECT_GT(app->program.numFunctions(), 500u);
+    // Server binaries: megabytes of text.
+    EXPECT_GT(app->program.totalCodeBytes(), 2ull * 1024 * 1024);
+}
+
+TEST_P(WorkloadProperties, BundleEntriesExistAtServerScale)
+{
+    const auto &analysis = app->image.analysis;
+    EXPECT_GT(analysis.entries.size(), 20u);
+    // Table 4 class: a few percent of functions.
+    EXPECT_GT(analysis.entryFraction, 0.005);
+    EXPECT_LT(analysis.entryFraction, 0.10);
+    // Tags exist for the entries.
+    EXPECT_GT(app->image.tags.size(), analysis.entries.size() / 2);
+}
+
+TEST_P(WorkloadProperties, StreamIsSequentiallyConsistent)
+{
+    RequestEngine engine(app, *profile);
+    DynInst prev, inst;
+    ASSERT_TRUE(engine.next(prev));
+    for (int i = 0; i < 150000; ++i) {
+        ASSERT_TRUE(engine.next(inst));
+        ASSERT_EQ(inst.pc, prev.nextFetchPc())
+            << GetParam() << " discontinuity at " << i;
+        prev = inst;
+    }
+}
+
+TEST_P(WorkloadProperties, StreamHasServerCharacter)
+{
+    RequestEngine engine(app, *profile);
+    DynInst inst;
+    std::unordered_set<Addr> blocks;
+    constexpr int kInsts = 400000;
+    for (int i = 0; i < kInsts; ++i) {
+        ASSERT_TRUE(engine.next(inst));
+        blocks.insert(blockAlign(inst.pc));
+    }
+    const EngineStats &stats = engine.stats();
+    // Calls and returns balance within stack-depth slack.
+    EXPECT_NEAR(double(stats.calls), double(stats.returns),
+                double(kMaxDepthSlack));
+    // Branchy code: at least 1 conditional per 32 instructions.
+    EXPECT_GT(stats.condBranches, std::uint64_t(kInsts) / 32);
+    // Instruction working set far beyond a 32 KB L1-I.
+    EXPECT_GT(blocks.size() * kBlockBytes, 64u * 1024);
+    // Tagged Bundle boundaries occur at a plausible rate: more than
+    // one per 200K instructions, fewer than one per 100.
+    EXPECT_GT(stats.taggedInsts, std::uint64_t(kInsts) / 200000);
+    EXPECT_LT(stats.taggedInsts, std::uint64_t(kInsts) / 100);
+}
+
+TEST_P(WorkloadProperties, TwoEnginesAgree)
+{
+    RequestEngine a(app, *profile), b(app, *profile);
+    DynInst ia, ib;
+    for (int i = 0; i < 20000; ++i) {
+        ASSERT_TRUE(a.next(ia));
+        ASSERT_TRUE(b.next(ib));
+        ASSERT_EQ(ia.pc, ib.pc);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadProperties,
+    ::testing::ValuesIn(allWorkloads()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string name = info.param;
+        for (char &c : name) {
+            if (c == '-')
+                c = '_';
+        }
+        return name;
+    });
+
+} // namespace
+} // namespace hp
