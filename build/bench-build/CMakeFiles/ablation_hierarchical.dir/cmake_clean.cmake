@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_hierarchical"
+  "../bench/ablation_hierarchical.pdb"
+  "CMakeFiles/ablation_hierarchical.dir/ablation_hierarchical.cc.o"
+  "CMakeFiles/ablation_hierarchical.dir/ablation_hierarchical.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hierarchical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/extras_related_work"
+  "../bench/extras_related_work.pdb"
+  "CMakeFiles/extras_related_work.dir/extras_related_work.cc.o"
+  "CMakeFiles/extras_related_work.dir/extras_related_work.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extras_related_work.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig01_stage_footprints"
+  "../bench/fig01_stage_footprints.pdb"
+  "CMakeFiles/fig01_stage_footprints.dir/fig01_stage_footprints.cc.o"
+  "CMakeFiles/fig01_stage_footprints.dir/fig01_stage_footprints.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_stage_footprints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

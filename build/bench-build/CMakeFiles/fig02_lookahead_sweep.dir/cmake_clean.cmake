@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig02_lookahead_sweep"
+  "../bench/fig02_lookahead_sweep.pdb"
+  "CMakeFiles/fig02_lookahead_sweep.dir/fig02_lookahead_sweep.cc.o"
+  "CMakeFiles/fig02_lookahead_sweep.dir/fig02_lookahead_sweep.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_lookahead_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

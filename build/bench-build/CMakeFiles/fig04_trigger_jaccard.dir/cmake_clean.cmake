@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_trigger_jaccard"
+  "../bench/fig04_trigger_jaccard.pdb"
+  "CMakeFiles/fig04_trigger_jaccard.dir/fig04_trigger_jaccard.cc.o"
+  "CMakeFiles/fig04_trigger_jaccard.dir/fig04_trigger_jaccard.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_trigger_jaccard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_ipc_speedup"
+  "../bench/fig09_ipc_speedup.pdb"
+  "CMakeFiles/fig09_ipc_speedup.dir/fig09_ipc_speedup.cc.o"
+  "CMakeFiles/fig09_ipc_speedup.dir/fig09_ipc_speedup.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_ipc_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

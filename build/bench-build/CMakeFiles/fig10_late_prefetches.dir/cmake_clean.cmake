@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_late_prefetches"
+  "../bench/fig10_late_prefetches.pdb"
+  "CMakeFiles/fig10_late_prefetches.dir/fig10_late_prefetches.cc.o"
+  "CMakeFiles/fig10_late_prefetches.dir/fig10_late_prefetches.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_late_prefetches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

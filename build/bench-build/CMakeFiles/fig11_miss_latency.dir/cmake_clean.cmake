@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_miss_latency"
+  "../bench/fig11_miss_latency.pdb"
+  "CMakeFiles/fig11_miss_latency.dir/fig11_miss_latency.cc.o"
+  "CMakeFiles/fig11_miss_latency.dir/fig11_miss_latency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_miss_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

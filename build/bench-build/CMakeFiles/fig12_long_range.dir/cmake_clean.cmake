@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_long_range"
+  "../bench/fig12_long_range.pdb"
+  "CMakeFiles/fig12_long_range.dir/fig12_long_range.cc.o"
+  "CMakeFiles/fig12_long_range.dir/fig12_long_range.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_long_range.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_metadata_sensitivity"
+  "../bench/fig13_metadata_sensitivity.pdb"
+  "CMakeFiles/fig13_metadata_sensitivity.dir/fig13_metadata_sensitivity.cc.o"
+  "CMakeFiles/fig13_metadata_sensitivity.dir/fig13_metadata_sensitivity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_metadata_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_infinite_btb"
+  "../bench/fig14_infinite_btb.pdb"
+  "CMakeFiles/fig14_infinite_btb.dir/fig14_infinite_btb.cc.o"
+  "CMakeFiles/fig14_infinite_btb.dir/fig14_infinite_btb.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_infinite_btb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_ftq_itlb"
+  "../bench/fig15_ftq_itlb.pdb"
+  "CMakeFiles/fig15_ftq_itlb.dir/fig15_ftq_itlb.cc.o"
+  "CMakeFiles/fig15_ftq_itlb.dir/fig15_ftq_itlb.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_ftq_itlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

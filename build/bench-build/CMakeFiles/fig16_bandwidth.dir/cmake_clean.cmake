@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig16_bandwidth"
+  "../bench/fig16_bandwidth.pdb"
+  "CMakeFiles/fig16_bandwidth.dir/fig16_bandwidth.cc.o"
+  "CMakeFiles/fig16_bandwidth.dir/fig16_bandwidth.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig17_l2_prefetch"
+  "../bench/fig17_l2_prefetch.pdb"
+  "CMakeFiles/fig17_l2_prefetch.dir/fig17_l2_prefetch.cc.o"
+  "CMakeFiles/fig17_l2_prefetch.dir/fig17_l2_prefetch.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_l2_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_l1i_sweep"
+  "../bench/table3_l1i_sweep.pdb"
+  "CMakeFiles/table3_l1i_sweep.dir/table3_l1i_sweep.cc.o"
+  "CMakeFiles/table3_l1i_sweep.dir/table3_l1i_sweep.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_l1i_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_bundle_stats"
+  "../bench/table4_bundle_stats.pdb"
+  "CMakeFiles/table4_bundle_stats.dir/table4_bundle_stats.cc.o"
+  "CMakeFiles/table4_bundle_stats.dir/table4_bundle_stats.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_bundle_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

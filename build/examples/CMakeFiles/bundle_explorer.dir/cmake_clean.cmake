@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bundle_explorer.dir/bundle_explorer.cpp.o"
+  "CMakeFiles/bundle_explorer.dir/bundle_explorer.cpp.o.d"
+  "bundle_explorer"
+  "bundle_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bundle_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tidb_tpcc.dir/tidb_tpcc.cpp.o"
+  "CMakeFiles/tidb_tpcc.dir/tidb_tpcc.cpp.o.d"
+  "tidb_tpcc"
+  "tidb_tpcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tidb_tpcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

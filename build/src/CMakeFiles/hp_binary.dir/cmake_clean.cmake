@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hp_binary.dir/binary/call_graph.cc.o"
+  "CMakeFiles/hp_binary.dir/binary/call_graph.cc.o.d"
+  "CMakeFiles/hp_binary.dir/binary/program.cc.o"
+  "CMakeFiles/hp_binary.dir/binary/program.cc.o.d"
+  "libhp_binary.a"
+  "libhp_binary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hp_binary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hp_cache.dir/cache/cache.cc.o"
+  "CMakeFiles/hp_cache.dir/cache/cache.cc.o.d"
+  "CMakeFiles/hp_cache.dir/cache/hierarchy.cc.o"
+  "CMakeFiles/hp_cache.dir/cache/hierarchy.cc.o.d"
+  "CMakeFiles/hp_cache.dir/cache/reuse_distance.cc.o"
+  "CMakeFiles/hp_cache.dir/cache/reuse_distance.cc.o.d"
+  "CMakeFiles/hp_cache.dir/cache/tlb.cc.o"
+  "CMakeFiles/hp_cache.dir/cache/tlb.cc.o.d"
+  "libhp_cache.a"
+  "libhp_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hp_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bundle_analysis.cc" "src/CMakeFiles/hp_core.dir/core/bundle_analysis.cc.o" "gcc" "src/CMakeFiles/hp_core.dir/core/bundle_analysis.cc.o.d"
+  "/root/repo/src/core/compression_buffer.cc" "src/CMakeFiles/hp_core.dir/core/compression_buffer.cc.o" "gcc" "src/CMakeFiles/hp_core.dir/core/compression_buffer.cc.o.d"
+  "/root/repo/src/core/hierarchical_prefetcher.cc" "src/CMakeFiles/hp_core.dir/core/hierarchical_prefetcher.cc.o" "gcc" "src/CMakeFiles/hp_core.dir/core/hierarchical_prefetcher.cc.o.d"
+  "/root/repo/src/core/loader.cc" "src/CMakeFiles/hp_core.dir/core/loader.cc.o" "gcc" "src/CMakeFiles/hp_core.dir/core/loader.cc.o.d"
+  "/root/repo/src/core/metadata_buffer.cc" "src/CMakeFiles/hp_core.dir/core/metadata_buffer.cc.o" "gcc" "src/CMakeFiles/hp_core.dir/core/metadata_buffer.cc.o.d"
+  "/root/repo/src/core/metadata_table.cc" "src/CMakeFiles/hp_core.dir/core/metadata_table.cc.o" "gcc" "src/CMakeFiles/hp_core.dir/core/metadata_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hp_binary.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

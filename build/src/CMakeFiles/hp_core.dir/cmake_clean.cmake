@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hp_core.dir/core/bundle_analysis.cc.o"
+  "CMakeFiles/hp_core.dir/core/bundle_analysis.cc.o.d"
+  "CMakeFiles/hp_core.dir/core/compression_buffer.cc.o"
+  "CMakeFiles/hp_core.dir/core/compression_buffer.cc.o.d"
+  "CMakeFiles/hp_core.dir/core/hierarchical_prefetcher.cc.o"
+  "CMakeFiles/hp_core.dir/core/hierarchical_prefetcher.cc.o.d"
+  "CMakeFiles/hp_core.dir/core/loader.cc.o"
+  "CMakeFiles/hp_core.dir/core/loader.cc.o.d"
+  "CMakeFiles/hp_core.dir/core/metadata_buffer.cc.o"
+  "CMakeFiles/hp_core.dir/core/metadata_buffer.cc.o.d"
+  "CMakeFiles/hp_core.dir/core/metadata_table.cc.o"
+  "CMakeFiles/hp_core.dir/core/metadata_table.cc.o.d"
+  "libhp_core.a"
+  "libhp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/frontend/btb.cc" "src/CMakeFiles/hp_frontend.dir/frontend/btb.cc.o" "gcc" "src/CMakeFiles/hp_frontend.dir/frontend/btb.cc.o.d"
+  "/root/repo/src/frontend/cond_predictor.cc" "src/CMakeFiles/hp_frontend.dir/frontend/cond_predictor.cc.o" "gcc" "src/CMakeFiles/hp_frontend.dir/frontend/cond_predictor.cc.o.d"
+  "/root/repo/src/frontend/indirect_predictor.cc" "src/CMakeFiles/hp_frontend.dir/frontend/indirect_predictor.cc.o" "gcc" "src/CMakeFiles/hp_frontend.dir/frontend/indirect_predictor.cc.o.d"
+  "/root/repo/src/frontend/ras.cc" "src/CMakeFiles/hp_frontend.dir/frontend/ras.cc.o" "gcc" "src/CMakeFiles/hp_frontend.dir/frontend/ras.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hp_frontend.dir/frontend/btb.cc.o"
+  "CMakeFiles/hp_frontend.dir/frontend/btb.cc.o.d"
+  "CMakeFiles/hp_frontend.dir/frontend/cond_predictor.cc.o"
+  "CMakeFiles/hp_frontend.dir/frontend/cond_predictor.cc.o.d"
+  "CMakeFiles/hp_frontend.dir/frontend/indirect_predictor.cc.o"
+  "CMakeFiles/hp_frontend.dir/frontend/indirect_predictor.cc.o.d"
+  "CMakeFiles/hp_frontend.dir/frontend/ras.cc.o"
+  "CMakeFiles/hp_frontend.dir/frontend/ras.cc.o.d"
+  "libhp_frontend.a"
+  "libhp_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hp_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

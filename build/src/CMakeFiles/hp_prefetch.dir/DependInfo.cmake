@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prefetch/efetch.cc" "src/CMakeFiles/hp_prefetch.dir/prefetch/efetch.cc.o" "gcc" "src/CMakeFiles/hp_prefetch.dir/prefetch/efetch.cc.o.d"
+  "/root/repo/src/prefetch/eip.cc" "src/CMakeFiles/hp_prefetch.dir/prefetch/eip.cc.o" "gcc" "src/CMakeFiles/hp_prefetch.dir/prefetch/eip.cc.o.d"
+  "/root/repo/src/prefetch/mana.cc" "src/CMakeFiles/hp_prefetch.dir/prefetch/mana.cc.o" "gcc" "src/CMakeFiles/hp_prefetch.dir/prefetch/mana.cc.o.d"
+  "/root/repo/src/prefetch/rdip.cc" "src/CMakeFiles/hp_prefetch.dir/prefetch/rdip.cc.o" "gcc" "src/CMakeFiles/hp_prefetch.dir/prefetch/rdip.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hp_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hp_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hp_prefetch.dir/prefetch/efetch.cc.o"
+  "CMakeFiles/hp_prefetch.dir/prefetch/efetch.cc.o.d"
+  "CMakeFiles/hp_prefetch.dir/prefetch/eip.cc.o"
+  "CMakeFiles/hp_prefetch.dir/prefetch/eip.cc.o.d"
+  "CMakeFiles/hp_prefetch.dir/prefetch/mana.cc.o"
+  "CMakeFiles/hp_prefetch.dir/prefetch/mana.cc.o.d"
+  "CMakeFiles/hp_prefetch.dir/prefetch/rdip.cc.o"
+  "CMakeFiles/hp_prefetch.dir/prefetch/rdip.cc.o.d"
+  "libhp_prefetch.a"
+  "libhp_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hp_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hp_sim.dir/sim/footprint_probe.cc.o"
+  "CMakeFiles/hp_sim.dir/sim/footprint_probe.cc.o.d"
+  "CMakeFiles/hp_sim.dir/sim/metrics.cc.o"
+  "CMakeFiles/hp_sim.dir/sim/metrics.cc.o.d"
+  "CMakeFiles/hp_sim.dir/sim/runner.cc.o"
+  "CMakeFiles/hp_sim.dir/sim/runner.cc.o.d"
+  "CMakeFiles/hp_sim.dir/sim/simulator.cc.o"
+  "CMakeFiles/hp_sim.dir/sim/simulator.cc.o.d"
+  "libhp_sim.a"
+  "libhp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hp_trace.dir/trace/trace.cc.o"
+  "CMakeFiles/hp_trace.dir/trace/trace.cc.o.d"
+  "libhp_trace.a"
+  "libhp_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hp_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

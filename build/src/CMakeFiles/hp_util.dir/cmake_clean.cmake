@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hp_util.dir/util/logging.cc.o"
+  "CMakeFiles/hp_util.dir/util/logging.cc.o.d"
+  "CMakeFiles/hp_util.dir/util/rng.cc.o"
+  "CMakeFiles/hp_util.dir/util/rng.cc.o.d"
+  "libhp_util.a"
+  "libhp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/app_profile.cc" "src/CMakeFiles/hp_workload.dir/workload/app_profile.cc.o" "gcc" "src/CMakeFiles/hp_workload.dir/workload/app_profile.cc.o.d"
+  "/root/repo/src/workload/program_builder.cc" "src/CMakeFiles/hp_workload.dir/workload/program_builder.cc.o" "gcc" "src/CMakeFiles/hp_workload.dir/workload/program_builder.cc.o.d"
+  "/root/repo/src/workload/request_engine.cc" "src/CMakeFiles/hp_workload.dir/workload/request_engine.cc.o" "gcc" "src/CMakeFiles/hp_workload.dir/workload/request_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hp_binary.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

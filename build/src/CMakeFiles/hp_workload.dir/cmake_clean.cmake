@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hp_workload.dir/workload/app_profile.cc.o"
+  "CMakeFiles/hp_workload.dir/workload/app_profile.cc.o.d"
+  "CMakeFiles/hp_workload.dir/workload/program_builder.cc.o"
+  "CMakeFiles/hp_workload.dir/workload/program_builder.cc.o.d"
+  "CMakeFiles/hp_workload.dir/workload/request_engine.cc.o"
+  "CMakeFiles/hp_workload.dir/workload/request_engine.cc.o.d"
+  "libhp_workload.a"
+  "libhp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

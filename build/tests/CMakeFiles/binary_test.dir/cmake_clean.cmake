@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/binary_test.dir/binary/call_graph_test.cc.o"
+  "CMakeFiles/binary_test.dir/binary/call_graph_test.cc.o.d"
+  "CMakeFiles/binary_test.dir/binary/program_test.cc.o"
+  "CMakeFiles/binary_test.dir/binary/program_test.cc.o.d"
+  "binary_test"
+  "binary_test.pdb"
+  "binary_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/binary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

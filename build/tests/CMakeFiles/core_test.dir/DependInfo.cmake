@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/bundle_analysis_test.cc" "tests/CMakeFiles/core_test.dir/core/bundle_analysis_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/bundle_analysis_test.cc.o.d"
+  "/root/repo/tests/core/bundle_param_test.cc" "tests/CMakeFiles/core_test.dir/core/bundle_param_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/bundle_param_test.cc.o.d"
+  "/root/repo/tests/core/compression_buffer_test.cc" "tests/CMakeFiles/core_test.dir/core/compression_buffer_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/compression_buffer_test.cc.o.d"
+  "/root/repo/tests/core/hierarchical_prefetcher_test.cc" "tests/CMakeFiles/core_test.dir/core/hierarchical_prefetcher_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/hierarchical_prefetcher_test.cc.o.d"
+  "/root/repo/tests/core/loader_test.cc" "tests/CMakeFiles/core_test.dir/core/loader_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/loader_test.cc.o.d"
+  "/root/repo/tests/core/metadata_buffer_test.cc" "tests/CMakeFiles/core_test.dir/core/metadata_buffer_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/metadata_buffer_test.cc.o.d"
+  "/root/repo/tests/core/metadata_table_test.cc" "tests/CMakeFiles/core_test.dir/core/metadata_table_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/metadata_table_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hp_prefetch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hp_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hp_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hp_binary.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

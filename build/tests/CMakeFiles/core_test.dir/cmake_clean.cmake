@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/bundle_analysis_test.cc.o"
+  "CMakeFiles/core_test.dir/core/bundle_analysis_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/bundle_param_test.cc.o"
+  "CMakeFiles/core_test.dir/core/bundle_param_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/compression_buffer_test.cc.o"
+  "CMakeFiles/core_test.dir/core/compression_buffer_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/hierarchical_prefetcher_test.cc.o"
+  "CMakeFiles/core_test.dir/core/hierarchical_prefetcher_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/loader_test.cc.o"
+  "CMakeFiles/core_test.dir/core/loader_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/metadata_buffer_test.cc.o"
+  "CMakeFiles/core_test.dir/core/metadata_buffer_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/metadata_table_test.cc.o"
+  "CMakeFiles/core_test.dir/core/metadata_table_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frontend_test.dir/frontend/btb_test.cc.o"
+  "CMakeFiles/frontend_test.dir/frontend/btb_test.cc.o.d"
+  "CMakeFiles/frontend_test.dir/frontend/cond_predictor_test.cc.o"
+  "CMakeFiles/frontend_test.dir/frontend/cond_predictor_test.cc.o.d"
+  "CMakeFiles/frontend_test.dir/frontend/indirect_predictor_test.cc.o"
+  "CMakeFiles/frontend_test.dir/frontend/indirect_predictor_test.cc.o.d"
+  "CMakeFiles/frontend_test.dir/frontend/ras_test.cc.o"
+  "CMakeFiles/frontend_test.dir/frontend/ras_test.cc.o.d"
+  "frontend_test"
+  "frontend_test.pdb"
+  "frontend_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frontend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefetch_test.dir/prefetch/efetch_test.cc.o"
+  "CMakeFiles/prefetch_test.dir/prefetch/efetch_test.cc.o.d"
+  "CMakeFiles/prefetch_test.dir/prefetch/eip_test.cc.o"
+  "CMakeFiles/prefetch_test.dir/prefetch/eip_test.cc.o.d"
+  "CMakeFiles/prefetch_test.dir/prefetch/mana_test.cc.o"
+  "CMakeFiles/prefetch_test.dir/prefetch/mana_test.cc.o.d"
+  "CMakeFiles/prefetch_test.dir/prefetch/rdip_test.cc.o"
+  "CMakeFiles/prefetch_test.dir/prefetch/rdip_test.cc.o.d"
+  "prefetch_test"
+  "prefetch_test.pdb"
+  "prefetch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefetch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/trace/trace_test.cc" "tests/CMakeFiles/trace_test.dir/trace/trace_test.cc.o" "gcc" "tests/CMakeFiles/trace_test.dir/trace/trace_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hp_prefetch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hp_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hp_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hp_binary.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
