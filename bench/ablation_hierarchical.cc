@@ -58,13 +58,22 @@ main()
     table.setHeader(
         {"variant", "speedup", "accuracy", "covL1", "covL2"});
 
+    std::vector<SimConfig> grid;
     for (const Variant &variant : variants) {
-        std::vector<double> speedup, acc, cov1, cov2;
         for (const std::string &workload : allWorkloads()) {
             SimConfig config =
                 defaultConfig(workload, PrefetcherKind::Hierarchical);
             variant.tweak(config.hier);
-            RunPair pair = ExperimentRunner::runPair(config);
+            grid.push_back(std::move(config));
+        }
+    }
+    std::vector<RunPair> pairs = hpbench::runPairs(grid);
+
+    std::size_t next = 0;
+    for (const Variant &variant : variants) {
+        std::vector<double> speedup, acc, cov1, cov2;
+        for (std::size_t w = 0; w < allWorkloads().size(); ++w) {
+            const RunPair &pair = pairs[next++];
             speedup.push_back(pair.paired.speedup);
             acc.push_back(pair.paired.accuracy);
             cov1.push_back(pair.paired.coverageL1);

@@ -12,12 +12,32 @@
 #include <string>
 #include <vector>
 
+#include "sim/executor.hh"
 #include "sim/runner.hh"
 #include "stats/table.hh"
 #include "workload/app_profile.hh"
 
 namespace hpbench
 {
+
+/**
+ * Runs every config's (run, FDIP-baseline) pair: the whole grid is
+ * submitted to the global executor up front (HP_JOBS workers, default
+ * hardware_concurrency) and collected in input order, so the output
+ * is bit-identical to a serial sweep.
+ */
+inline std::vector<hp::RunPair>
+runPairs(const std::vector<hp::SimConfig> &configs)
+{
+    return hp::Executor::global().runPairs(configs);
+}
+
+/** Same submission discipline for plain (unpaired) runs. */
+inline std::vector<hp::SimMetrics>
+runAll(const std::vector<hp::SimConfig> &configs)
+{
+    return hp::Executor::global().runAll(configs);
+}
 
 /** The four prefetchers every comparison figure sweeps. */
 inline const std::vector<hp::PrefetcherKind> &

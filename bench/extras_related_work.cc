@@ -21,13 +21,20 @@ main()
     table.setHeader({"prefetcher", "speedup", "accuracy", "covL1",
                      "late", "storage"});
 
-    for (PrefetcherKind kind :
-         {PrefetcherKind::Rdip, PrefetcherKind::EFetch,
-          PrefetcherKind::Hierarchical}) {
+    const std::vector<PrefetcherKind> kinds = {
+        PrefetcherKind::Rdip, PrefetcherKind::EFetch,
+        PrefetcherKind::Hierarchical};
+    std::vector<SimConfig> grid;
+    for (PrefetcherKind kind : kinds)
+        for (const std::string &workload : allWorkloads())
+            grid.push_back(defaultConfig(workload, kind));
+    std::vector<RunPair> pairs = hpbench::runPairs(grid);
+
+    std::size_t next = 0;
+    for (PrefetcherKind kind : kinds) {
         std::vector<double> speedup, acc, cov, late;
-        for (const std::string &workload : allWorkloads()) {
-            SimConfig config = defaultConfig(workload, kind);
-            RunPair pair = ExperimentRunner::runPair(config);
+        for (std::size_t w = 0; w < allWorkloads().size(); ++w) {
+            const RunPair &pair = pairs[next++];
             speedup.push_back(pair.paired.speedup);
             acc.push_back(pair.paired.accuracy);
             cov.push_back(pair.paired.coverageL1);

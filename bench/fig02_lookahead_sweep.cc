@@ -18,39 +18,43 @@ namespace
 
 using namespace hp;
 
-/** Mean paired metrics of one configured prefetcher over all apps. */
-PairedMetrics
-meanOverApps(PrefetcherKind kind, unsigned lookahead)
+SimConfig
+sweepConfig(PrefetcherKind kind, const std::string &workload,
+            unsigned lookahead)
 {
-    std::vector<double> acc, cov, dist;
-    for (const std::string &workload : allWorkloads()) {
-        SimConfig config = defaultConfig(workload, kind);
-        config.mana.lookahead = lookahead;
-        config.efetch.lookahead = lookahead;
-        RunPair pair = ExperimentRunner::runPair(config);
-        acc.push_back(pair.paired.accuracy);
-        cov.push_back(pair.paired.coverageL1);
-        dist.push_back(pair.paired.avgDistance);
-    }
-    PairedMetrics out;
-    out.accuracy = hpbench::mean(acc);
-    out.coverageL1 = hpbench::mean(cov);
-    out.avgDistance = hpbench::mean(dist);
-    return out;
+    SimConfig config = defaultConfig(workload, kind);
+    config.mana.lookahead = lookahead;
+    config.efetch.lookahead = lookahead;
+    return config;
 }
 
 void
 sweep(const char *title, PrefetcherKind kind,
       const std::vector<unsigned> &lookaheads)
 {
+    // Full sweep grid (lookaheads x workloads) submitted up front.
+    std::vector<SimConfig> grid;
+    for (unsigned la : lookaheads)
+        for (const std::string &workload : allWorkloads())
+            grid.push_back(sweepConfig(kind, workload, la));
+    std::vector<RunPair> pairs = hpbench::runPairs(grid);
+
     AsciiTable table(title);
     table.setHeader({"look-ahead", "accuracy", "coverage(L1)",
                      "avg distance"});
+    std::size_t next = 0;
     for (unsigned la : lookaheads) {
-        PairedMetrics m = meanOverApps(kind, la);
-        table.addRow({std::to_string(la), fmtPercent(m.accuracy),
-                      fmtPercent(m.coverageL1),
-                      fmtDouble(m.avgDistance, 1)});
+        std::vector<double> acc, cov, dist;
+        for (std::size_t w = 0; w < allWorkloads().size(); ++w) {
+            const RunPair &pair = pairs[next++];
+            acc.push_back(pair.paired.accuracy);
+            cov.push_back(pair.paired.coverageL1);
+            dist.push_back(pair.paired.avgDistance);
+        }
+        table.addRow({std::to_string(la),
+                      fmtPercent(hpbench::mean(acc)),
+                      fmtPercent(hpbench::mean(cov)),
+                      fmtDouble(hpbench::mean(dist), 1)});
     }
     std::fputs(table.render().c_str(), stdout);
     std::printf("\n");
@@ -71,9 +75,10 @@ main()
     table.setHeader({"distance (blocks)", "accuracy", "samples"});
     std::vector<std::uint64_t> useful(HierarchyStats::kDistanceBins, 0);
     std::vector<std::uint64_t> unused(HierarchyStats::kDistanceBins, 0);
-    for (const std::string &workload : allWorkloads()) {
-        SimConfig config = defaultConfig(workload, PrefetcherKind::Eip);
-        const SimMetrics &m = ExperimentRunner::run(config);
+    std::vector<SimConfig> eip_grid;
+    for (const std::string &workload : allWorkloads())
+        eip_grid.push_back(defaultConfig(workload, PrefetcherKind::Eip));
+    for (const SimMetrics &m : hpbench::runAll(eip_grid)) {
         for (unsigned b = 0; b < HierarchyStats::kDistanceBins; ++b) {
             useful[b] += m.mem.extDistUseful[b];
             unused[b] += m.mem.extDistUnused[b];

@@ -20,13 +20,22 @@ main()
     table.setHeader({"prefetcher", "avg distance", "accuracy",
                      "coverage(L1)"});
 
-    for (PrefetcherKind kind :
-         {PrefetcherKind::EFetch, PrefetcherKind::Mana,
-          PrefetcherKind::Eip, PrefetcherKind::Hierarchical}) {
+    const std::vector<PrefetcherKind> kinds = {
+        PrefetcherKind::EFetch, PrefetcherKind::Mana,
+        PrefetcherKind::Eip, PrefetcherKind::Hierarchical};
+
+    // Kind-major grid, submitted up front.
+    std::vector<SimConfig> grid;
+    for (PrefetcherKind kind : kinds)
+        for (const std::string &workload : allWorkloads())
+            grid.push_back(defaultConfig(workload, kind));
+    std::vector<RunPair> pairs = hpbench::runPairs(grid);
+
+    std::size_t next = 0;
+    for (PrefetcherKind kind : kinds) {
         std::vector<double> acc, cov, dist;
-        for (const std::string &workload : allWorkloads()) {
-            SimConfig config = defaultConfig(workload, kind);
-            RunPair pair = ExperimentRunner::runPair(config);
+        for (std::size_t w = 0; w < allWorkloads().size(); ++w) {
+            const RunPair &pair = pairs[next++];
             acc.push_back(pair.paired.accuracy);
             cov.push_back(pair.paired.coverageL1);
             dist.push_back(pair.paired.avgDistance);

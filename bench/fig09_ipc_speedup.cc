@@ -21,16 +21,24 @@ main()
 
     std::vector<double> efetch, mana, eip, hier, perfect, share;
 
+    // Submit the whole grid up front; workers drain it in parallel.
+    std::vector<SimConfig> grid;
+    for (const std::string &workload : allWorkloads()) {
+        for (PrefetcherKind kind : hpbench::comparedPrefetchers())
+            grid.push_back(defaultConfig(workload, kind));
+        grid.push_back(
+            defaultConfig(workload, PrefetcherKind::PerfectL1I));
+    }
+    std::vector<RunPair> pairs = hpbench::runPairs(grid);
+
+    std::size_t next = 0;
     for (const std::string &workload : allWorkloads()) {
         std::vector<double> row;
         for (PrefetcherKind kind : hpbench::comparedPrefetchers()) {
-            SimConfig config = defaultConfig(workload, kind);
-            row.push_back(
-                ExperimentRunner::runPair(config).paired.speedup);
+            (void)kind;
+            row.push_back(pairs[next++].paired.speedup);
         }
-        SimConfig pcfg =
-            defaultConfig(workload, PrefetcherKind::PerfectL1I);
-        double perf = ExperimentRunner::runPair(pcfg).paired.speedup;
+        double perf = pairs[next++].paired.speedup;
 
         efetch.push_back(row[0]);
         mana.push_back(row[1]);

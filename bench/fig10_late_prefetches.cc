@@ -18,16 +18,17 @@ main()
     table.setHeader(
         {"workload", "EFetch", "MANA", "EIP", "Hierarchical"});
 
+    std::vector<RunPair> pairs = Executor::global().runGrid(
+        allWorkloads(), hpbench::comparedPrefetchers());
+
     std::vector<std::vector<double>> cols(4);
+    std::size_t next = 0;
     for (const std::string &workload : allWorkloads()) {
         std::vector<std::string> row = {workload};
-        unsigned c = 0;
-        for (PrefetcherKind kind : hpbench::comparedPrefetchers()) {
-            SimConfig config = defaultConfig(workload, kind);
-            RunPair pair = ExperimentRunner::runPair(config);
+        for (unsigned c = 0; c < 4; ++c) {
+            const RunPair &pair = pairs[next++];
             cols[c].push_back(pair.paired.lateFraction);
             row.push_back(fmtPercent(pair.paired.lateFraction));
-            ++c;
         }
         table.addRow(row);
     }

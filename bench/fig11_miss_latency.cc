@@ -21,11 +21,17 @@ main()
     table.setHeader({"prefetcher", "total", "served-by-L2",
                      "served-beyond-L2"});
 
+    std::vector<SimConfig> grid;
+    for (PrefetcherKind kind : hpbench::comparedPrefetchers())
+        for (const std::string &workload : allWorkloads())
+            grid.push_back(defaultConfig(workload, kind));
+    std::vector<RunPair> pairs = hpbench::runPairs(grid);
+
+    std::size_t next = 0;
     for (PrefetcherKind kind : hpbench::comparedPrefetchers()) {
         std::vector<double> total, l1part, l2part;
-        for (const std::string &workload : allWorkloads()) {
-            SimConfig config = defaultConfig(workload, kind);
-            RunPair pair = ExperimentRunner::runPair(config);
+        for (std::size_t w = 0; w < allWorkloads().size(); ++w) {
+            const RunPair &pair = pairs[next++];
 
             auto l1_lat = [](const SimMetrics &m) {
                 // Latency of misses served by the L2 (plus merge wait,

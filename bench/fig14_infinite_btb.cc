@@ -20,17 +20,24 @@ main()
     table.setHeader(
         {"workload", "EFetch", "MANA", "EIP", "Hierarchical"});
 
-    std::vector<std::vector<double>> cols(4);
+    std::vector<SimConfig> grid;
     for (const std::string &workload : allWorkloads()) {
-        std::vector<std::string> row = {workload};
-        unsigned c = 0;
         for (PrefetcherKind kind : hpbench::comparedPrefetchers()) {
             SimConfig config = defaultConfig(workload, kind);
             config.btbEntries = 0; // infinite
-            RunPair pair = ExperimentRunner::runPair(config);
+            grid.push_back(std::move(config));
+        }
+    }
+    std::vector<RunPair> pairs = hpbench::runPairs(grid);
+
+    std::vector<std::vector<double>> cols(4);
+    std::size_t next = 0;
+    for (const std::string &workload : allWorkloads()) {
+        std::vector<std::string> row = {workload};
+        for (unsigned c = 0; c < 4; ++c) {
+            const RunPair &pair = pairs[next++];
             cols[c].push_back(pair.paired.speedup);
             row.push_back(fmtPercent(pair.paired.speedup));
-            ++c;
         }
         table.addRow(row);
     }

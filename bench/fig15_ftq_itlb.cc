@@ -15,18 +15,39 @@ main()
 {
     using namespace hp;
 
-    // (a) FTQ sweep, FDIP baseline, normalized to the 24-entry config.
-    AsciiTable table_a("Figure 15a: FDIP IPC vs FTQ size");
-    table_a.setHeader({"FTQ entries", "relative IPC"});
+    // Submit both sweeps' grids up front so part (b) overlaps (a).
     std::vector<unsigned> ftq_sizes = {8, 16, 24, 32, 48, 64};
-    std::vector<double> ipcs;
+    std::vector<SimConfig> ftq_grid;
     for (unsigned ftq : ftq_sizes) {
-        std::vector<double> per_app;
         for (const std::string &workload : allWorkloads()) {
             SimConfig config = defaultConfig(workload);
             config.ftqEntries = ftq;
-            per_app.push_back(ExperimentRunner::run(config).ipc());
+            ftq_grid.push_back(std::move(config));
         }
+    }
+    const std::vector<unsigned> itlb_sizes = {32, 64, 128, 256};
+    std::vector<SimConfig> itlb_grid;
+    for (unsigned entries : itlb_sizes) {
+        for (const std::string &workload : allWorkloads()) {
+            SimConfig config =
+                defaultConfig(workload, PrefetcherKind::Hierarchical);
+            config.mem.itlbEntries = entries;
+            itlb_grid.push_back(std::move(config));
+        }
+    }
+    for (const SimConfig &config : itlb_grid)
+        Executor::global().submitPair(config);
+    std::vector<SimMetrics> ftq_runs = hpbench::runAll(ftq_grid);
+
+    // (a) FTQ sweep, FDIP baseline, normalized to the 24-entry config.
+    AsciiTable table_a("Figure 15a: FDIP IPC vs FTQ size");
+    table_a.setHeader({"FTQ entries", "relative IPC"});
+    std::vector<double> ipcs;
+    std::size_t ftq_next = 0;
+    for (std::size_t f = 0; f < ftq_sizes.size(); ++f) {
+        std::vector<double> per_app;
+        for (std::size_t w = 0; w < allWorkloads().size(); ++w)
+            per_app.push_back(ftq_runs[ftq_next++].ipc());
         ipcs.push_back(hpbench::mean(per_app));
     }
     double ref = ipcs[2]; // 24 entries
@@ -38,16 +59,15 @@ main()
     std::printf("\n");
 
     // (b) I-TLB sweep: baseline vs Hierarchical.
+    std::vector<RunPair> itlb_pairs = hpbench::runPairs(itlb_grid);
     AsciiTable table_b("Figure 15b: IPC vs I-TLB entries");
     table_b.setHeader({"I-TLB entries", "FDIP IPC", "HP IPC",
                        "HP gain"});
-    for (unsigned entries : {32u, 64u, 128u, 256u}) {
+    std::size_t itlb_next = 0;
+    for (unsigned entries : itlb_sizes) {
         std::vector<double> base_ipc, hp_gain, hp_ipc;
-        for (const std::string &workload : allWorkloads()) {
-            SimConfig config =
-                defaultConfig(workload, PrefetcherKind::Hierarchical);
-            config.mem.itlbEntries = entries;
-            RunPair pair = ExperimentRunner::runPair(config);
+        for (std::size_t w = 0; w < allWorkloads().size(); ++w) {
+            const RunPair &pair = itlb_pairs[itlb_next++];
             base_ipc.push_back(pair.base.ipc());
             hp_ipc.push_back(pair.run.ipc());
             hp_gain.push_back(pair.paired.speedup);

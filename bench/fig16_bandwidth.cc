@@ -20,11 +20,13 @@ main()
     table.setHeader({"workload", "total", "overpredict share",
                      "metadata share"});
 
+    std::vector<RunPair> pairs = Executor::global().runGrid(
+        allWorkloads(), {PrefetcherKind::Hierarchical});
+
     std::vector<double> ratios, over_share, meta_share;
+    std::size_t next = 0;
     for (const std::string &workload : allWorkloads()) {
-        SimConfig config =
-            defaultConfig(workload, PrefetcherKind::Hierarchical);
-        RunPair pair = ExperimentRunner::runPair(config);
+        const RunPair &pair = pairs[next++];
 
         double ratio = pair.paired.bandwidthRatio;
         ratios.push_back(ratio);

@@ -17,15 +17,22 @@ main()
     AsciiTable table("Figure 17: Hierarchical prefetching into the L2");
     table.setHeader({"workload", "HP->L1I", "HP->L2"});
 
-    std::vector<double> to_l1, to_l2;
+    std::vector<SimConfig> grid;
     for (const std::string &workload : allWorkloads()) {
         SimConfig l1cfg =
             defaultConfig(workload, PrefetcherKind::Hierarchical);
-        RunPair l1pair = ExperimentRunner::runPair(l1cfg);
-
         SimConfig l2cfg = l1cfg;
         l2cfg.extPrefetchToL2 = true;
-        RunPair l2pair = ExperimentRunner::runPair(l2cfg);
+        grid.push_back(std::move(l1cfg));
+        grid.push_back(std::move(l2cfg));
+    }
+    std::vector<RunPair> pairs = hpbench::runPairs(grid);
+
+    std::vector<double> to_l1, to_l2;
+    std::size_t next = 0;
+    for (const std::string &workload : allWorkloads()) {
+        const RunPair &l1pair = pairs[next++];
+        const RunPair &l2pair = pairs[next++];
 
         to_l1.push_back(l1pair.paired.speedup);
         to_l2.push_back(l2pair.paired.speedup);

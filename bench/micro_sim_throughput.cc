@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Simulator throughput microbenchmark: single-thread simulated MIPS
+ * and wall-clock scaling of a fig09-style grid at 1, 2 and N worker
+ * threads. Emits one JSON line so the perf trajectory can be tracked
+ * across PRs and CI runs.
+ *
+ * `--quick` shrinks the grid and instruction counts for CI; the
+ * default exercises the full fig09 workload x prefetcher grid.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+
+namespace
+{
+
+using namespace hp;
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0)
+            quick = true;
+    }
+
+    const std::uint64_t warmup = quick ? 100'000 : 1'500'000;
+    const std::uint64_t measure = quick ? 300'000 : 3'000'000;
+
+    std::vector<std::string> workloads;
+    std::vector<PrefetcherKind> kinds;
+    if (quick) {
+        workloads = {"caddy", "gin"};
+        kinds = {PrefetcherKind::EFetch, PrefetcherKind::Hierarchical};
+    } else {
+        workloads = allWorkloads();
+        kinds = hpbench::comparedPrefetchers();
+        kinds.push_back(PrefetcherKind::PerfectL1I);
+    }
+
+    // ---- Single-thread MIPS: one uncached simulation, timed. ----
+    SimConfig mips_cfg = defaultConfig(workloads.front());
+    mips_cfg.warmupInsts = warmup;
+    mips_cfg.measureInsts = measure;
+    auto start = std::chrono::steady_clock::now();
+    Simulator sim(mips_cfg);
+    SimMetrics m = sim.run();
+    double mips_secs = secondsSince(start);
+    double mips = double(warmup + measure) / 1e6 / mips_secs;
+    (void)m;
+
+    // ---- Grid scaling: same grid at 1, 2 and N threads. ----
+    std::vector<unsigned> rounds = {1};
+    unsigned hw = Executor::defaultThreads();
+    if (hw >= 2 || !quick)
+        rounds.push_back(2);
+    if (hw > 2)
+        rounds.push_back(hw);
+
+    std::vector<double> walls;
+    unsigned round_tag = 0;
+    for (unsigned threads : rounds) {
+        // Perturb the instruction budget per round so the experiment
+        // cache cannot serve this round from the previous one: every
+        // round simulates its full grid.
+        ++round_tag;
+        std::vector<SimConfig> grid;
+        for (const std::string &workload : workloads) {
+            for (PrefetcherKind kind : kinds) {
+                SimConfig config = defaultConfig(workload, kind);
+                config.warmupInsts = warmup;
+                config.measureInsts = measure + round_tag;
+                grid.push_back(std::move(config));
+            }
+        }
+
+        Executor executor(threads);
+        start = std::chrono::steady_clock::now();
+        std::vector<RunPair> pairs = executor.runPairs(grid);
+        walls.push_back(secondsSince(start));
+        (void)pairs;
+    }
+
+    std::printf("{\"bench\":\"micro_sim_throughput\","
+                "\"quick\":%s,"
+                "\"grid_points\":%zu,"
+                "\"insts_per_sim\":%llu,"
+                "\"single_thread_mips\":%.2f",
+                quick ? "true" : "false",
+                workloads.size() * kinds.size(),
+                static_cast<unsigned long long>(warmup + measure),
+                mips);
+    for (std::size_t i = 0; i < rounds.size(); ++i) {
+        std::printf(",\"wall_s_at_%u_threads\":%.2f", rounds[i],
+                    walls[i]);
+        if (i > 0 && walls[i] > 0.0) {
+            std::printf(",\"speedup_at_%u_threads\":%.2f", rounds[i],
+                        walls[0] / walls[i]);
+        }
+    }
+    std::printf("}\n");
+    return 0;
+}

@@ -19,13 +19,19 @@ main()
 {
     using namespace hp;
 
+    std::vector<SimConfig> grid;
+    for (PrefetcherKind kind : hpbench::comparedPrefetchers())
+        for (const std::string &workload : allWorkloads())
+            grid.push_back(defaultConfig(workload, kind));
+    std::vector<RunPair> pairs = hpbench::runPairs(grid);
+
     std::vector<std::string> names;
     std::vector<double> dist, acc, cov1, cov2;
+    std::size_t next = 0;
     for (PrefetcherKind kind : hpbench::comparedPrefetchers()) {
         std::vector<double> d, a, c1, c2;
-        for (const std::string &workload : allWorkloads()) {
-            SimConfig config = defaultConfig(workload, kind);
-            RunPair pair = ExperimentRunner::runPair(config);
+        for (std::size_t w = 0; w < allWorkloads().size(); ++w) {
+            const RunPair &pair = pairs[next++];
             d.push_back(pair.paired.avgDistance);
             a.push_back(pair.paired.accuracy);
             c1.push_back(pair.paired.coverageL1);

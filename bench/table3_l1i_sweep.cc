@@ -21,13 +21,25 @@ main()
     table.setHeader({"prefetcher", "L1-I", "accuracy", "coverage",
                      "speedup"});
 
+    const std::vector<unsigned> sizes_kb = {32, 64, 128, 256};
+    std::vector<SimConfig> grid;
     for (PrefetcherKind kind : hpbench::comparedPrefetchers()) {
-        for (unsigned kb : {32u, 64u, 128u, 256u}) {
-            std::vector<double> acc, cov, speedup;
+        for (unsigned kb : sizes_kb) {
             for (const std::string &workload : allWorkloads()) {
                 SimConfig config = defaultConfig(workload, kind);
                 config.mem.l1iBytes = std::uint64_t(kb) * 1024;
-                RunPair pair = ExperimentRunner::runPair(config);
+                grid.push_back(std::move(config));
+            }
+        }
+    }
+    std::vector<RunPair> pairs = hpbench::runPairs(grid);
+
+    std::size_t next = 0;
+    for (PrefetcherKind kind : hpbench::comparedPrefetchers()) {
+        for (unsigned kb : sizes_kb) {
+            std::vector<double> acc, cov, speedup;
+            for (std::size_t w = 0; w < allWorkloads().size(); ++w) {
+                const RunPair &pair = pairs[next++];
                 acc.push_back(pair.paired.accuracy);
                 cov.push_back(pair.paired.coverageL1);
                 speedup.push_back(pair.paired.speedup);

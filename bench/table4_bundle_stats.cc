@@ -24,15 +24,21 @@ main()
                      "bundle %", "avg footprint", "avg exec cycles",
                      "avg Jaccard"});
 
+    std::vector<SimConfig> grid;
+    for (const std::string &binary : allBinaries()) {
+        grid.push_back(defaultConfig(workloadForBinary(binary),
+                                     PrefetcherKind::Hierarchical));
+    }
+    std::vector<SimMetrics> runs = hpbench::runAll(grid);
+
     std::vector<double> pct, fp, cyc, jac;
+    std::size_t next = 0;
     for (const std::string &binary : allBinaries()) {
         const std::string &workload = workloadForBinary(binary);
         const AppProfile &profile = appProfile(workload);
         auto app = ProgramBuilder::cached(profile);
 
-        SimConfig config =
-            defaultConfig(workload, PrefetcherKind::Hierarchical);
-        const SimMetrics &m = ExperimentRunner::run(config);
+        const SimMetrics &m = runs[next++];
 
         double fraction = app->image.analysis.entryFraction;
         double footprint_kb =

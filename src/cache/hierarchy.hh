@@ -62,6 +62,8 @@ struct HierarchyParams
      * (the rest hit; records are LLC-cacheable per Section 5.3).
      */
     unsigned metadataDramEvery = 4;
+
+    bool operator==(const HierarchyParams &) const = default;
 };
 
 /** Service level of a demand instruction access. */

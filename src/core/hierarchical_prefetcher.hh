@@ -85,6 +85,8 @@ struct HierarchicalConfig
      * indices for Table 4); off by default for speed.
      */
     bool trackBundleStats = false;
+
+    bool operator==(const HierarchicalConfig &) const = default;
 };
 
 /** Aggregate statistics exported by the prefetcher. */
@@ -121,7 +123,7 @@ bundleIdFor(Addr next_pc)
 }
 
 /** The hardware prefetcher. */
-class HierarchicalPrefetcher : public Prefetcher
+class HierarchicalPrefetcher final : public Prefetcher
 {
   public:
     HierarchicalPrefetcher(const HierarchicalConfig &config,

@@ -42,10 +42,12 @@ struct EFetchConfig
 
     /** Footprint table entries (per-callee touched-block vectors). */
     unsigned footprintEntries = 4096;
+
+    bool operator==(const EFetchConfig &) const = default;
 };
 
 /** The EFetch prefetcher. */
-class EFetch : public Prefetcher
+class EFetch final : public Prefetcher
 {
   public:
     explicit EFetch(const EFetchConfig &config = {});

@@ -43,10 +43,12 @@ struct EipConfig
      * block plus the following lines of the destination basic block.
      */
     unsigned targetRunBlocks = 3;
+
+    bool operator==(const EipConfig &) const = default;
 };
 
 /** The EIP prefetcher. */
-class Eip : public Prefetcher
+class Eip final : public Prefetcher
 {
   public:
     explicit Eip(const EipConfig &config = {});

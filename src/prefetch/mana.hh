@@ -36,10 +36,12 @@ struct ManaConfig
 
     /** Look-ahead depth in spatial regions (paper default: 3). */
     unsigned lookahead = 3;
+
+    bool operator==(const ManaConfig &) const = default;
 };
 
 /** The MANA prefetcher. */
-class Mana : public Prefetcher
+class Mana final : public Prefetcher
 {
   public:
     explicit Mana(const ManaConfig &config = {});

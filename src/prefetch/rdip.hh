@@ -34,10 +34,12 @@ struct RdipConfig
 
     /** Miss blocks recorded per signature (the 60KB-class budget). */
     unsigned blocksPerEntry = 4;
+
+    bool operator==(const RdipConfig &) const = default;
 };
 
 /** The RDIP prefetcher. */
-class Rdip : public Prefetcher
+class Rdip final : public Prefetcher
 {
   public:
     explicit Rdip(const RdipConfig &config = {});

@@ -111,7 +111,20 @@ struct SimConfig
     /** Long-range threshold: reuse distance at/above this percentile
      *  of the warmup distribution counts as long-range. */
     double longRangePercentile = 0.90;
+
+    /**
+     * Full-struct equality: every field that affects the simulation
+     * outcome participates, so it is safe as the collision check
+     * behind configHash().
+     */
+    bool operator==(const SimConfig &) const = default;
 };
+
+/**
+ * 64-bit hash over every outcome-affecting field; the dedup key of the
+ * experiment cache. Collisions are resolved with operator==.
+ */
+std::uint64_t configHash(const SimConfig &config);
 
 } // namespace hp
 

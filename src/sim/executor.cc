@@ -1,0 +1,140 @@
+#include "sim/executor.hh"
+
+#include <cstdlib>
+
+namespace hp
+{
+
+unsigned
+Executor::defaultThreads()
+{
+    if (const char *env = std::getenv("HP_JOBS")) {
+        char *end = nullptr;
+        unsigned long jobs = std::strtoul(env, &end, 10);
+        if (end != env && *end == '\0' && jobs > 0 && jobs <= 1024)
+            return unsigned(jobs);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+Executor &
+Executor::global()
+{
+    static Executor executor;
+    return executor;
+}
+
+Executor::Executor(unsigned threads)
+{
+    if (threads == 0)
+        threads = defaultThreads();
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+Executor::~Executor()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+Executor::workerLoop()
+{
+    while (true) {
+        std::packaged_task<SimMetrics()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stop_ and drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+    }
+}
+
+std::shared_future<SimMetrics>
+Executor::submit(const SimConfig &config)
+{
+    std::packaged_task<SimMetrics()> task;
+    std::shared_future<SimMetrics> future =
+        detail::acquireSimulation(config, &task);
+    if (task.valid()) {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            queue_.push_back(std::move(task));
+        }
+        cv_.notify_one();
+    }
+    return future;
+}
+
+PairFutures
+Executor::submitPair(const SimConfig &config)
+{
+    PairFutures futures;
+    futures.run = submit(config);
+    futures.base = submit(fdipBaseline(config));
+    return futures;
+}
+
+std::vector<SimMetrics>
+Executor::runAll(const std::vector<SimConfig> &configs)
+{
+    std::vector<std::shared_future<SimMetrics>> futures;
+    futures.reserve(configs.size());
+    for (const SimConfig &config : configs)
+        futures.push_back(submit(config));
+
+    std::vector<SimMetrics> results;
+    results.reserve(futures.size());
+    for (const auto &future : futures)
+        results.push_back(future.get());
+    return results;
+}
+
+std::vector<RunPair>
+Executor::runPairs(const std::vector<SimConfig> &configs)
+{
+    std::vector<PairFutures> futures;
+    futures.reserve(configs.size());
+    for (const SimConfig &config : configs)
+        futures.push_back(submitPair(config));
+
+    std::vector<RunPair> results;
+    results.reserve(futures.size());
+    for (const PairFutures &future : futures)
+        results.push_back(future.collect());
+    return results;
+}
+
+std::vector<RunPair>
+Executor::runGrid(const std::vector<std::string> &workloads,
+                  const std::vector<PrefetcherKind> &kinds,
+                  const SimConfig &base)
+{
+    std::vector<SimConfig> configs;
+    configs.reserve(workloads.size() * kinds.size());
+    for (const std::string &workload : workloads) {
+        for (PrefetcherKind kind : kinds) {
+            SimConfig config = base;
+            config.workload = workload;
+            config.prefetcher = kind;
+            if (kind == PrefetcherKind::Hierarchical)
+                config.hier.trackBundleStats = true;
+            configs.push_back(std::move(config));
+        }
+    }
+    return runPairs(configs);
+}
+
+} // namespace hp

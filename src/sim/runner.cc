@@ -1,8 +1,13 @@
 #include "sim/runner.hh"
 
-#include <map>
+#include <atomic>
 #include <mutex>
 #include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/executor.hh"
+#include "util/hash.hh"
 
 namespace hp
 {
@@ -10,11 +15,114 @@ namespace hp
 namespace
 {
 
+std::uint64_t
+hashString(std::uint64_t seed, const std::string &s)
+{
+    std::uint64_t h = hashCombine(seed, s.size());
+    for (char c : s)
+        h = hashCombine(h, static_cast<unsigned char>(c));
+    return h;
+}
+
+std::uint64_t
+hashDouble(std::uint64_t seed, double d)
+{
+    // Bit-pattern hash: configs are compared with ==, and the doubles
+    // involved are set from literals, never computed.
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(d));
+    __builtin_memcpy(&bits, &d, sizeof(bits));
+    return hashCombine(seed, bits);
+}
+
+/**
+ * One cache slot: the full config for collision resolution plus the
+ * shared future every requester blocks on.
+ */
+struct CacheSlot
+{
+    SimConfig config;
+    std::shared_future<SimMetrics> future;
+};
+
 std::mutex g_mutex;
-std::map<std::string, SimMetrics> g_cache;
-std::size_t g_runs = 0;
+std::unordered_map<std::uint64_t, std::vector<CacheSlot>> g_cache;
+std::atomic<std::size_t> g_runs{0};
 
 } // namespace
+
+std::uint64_t
+configHash(const SimConfig &c)
+{
+    std::uint64_t h = hashString(0x9e3779b97f4a7c15ULL, c.workload);
+    for (std::uint64_t v :
+         {std::uint64_t(c.warmupInsts), std::uint64_t(c.measureInsts),
+          std::uint64_t(c.ftqEntries),
+          std::uint64_t(c.fetchBytesPerCycle),
+          std::uint64_t(c.bpBlocksPerCycle), std::uint64_t(c.btbEntries),
+          std::uint64_t(c.btbWays), std::uint64_t(c.rasDepth),
+          std::uint64_t(c.btbMissPenalty),
+          std::uint64_t(c.mispredictPenalty),
+          std::uint64_t(c.pipelineDepth), std::uint64_t(c.commitWidth),
+          std::uint64_t(c.robEntries),
+          std::uint64_t(c.backendStallPermille),
+          std::uint64_t(c.backendStallCycles)}) {
+        h = hashCombine(h, v);
+    }
+
+    const HierarchyParams &m = c.mem;
+    for (std::uint64_t v :
+         {std::uint64_t(m.l1iBytes), std::uint64_t(m.l1iWays),
+          std::uint64_t(m.l1iLatency), std::uint64_t(m.l1iMshrs),
+          std::uint64_t(m.l2Bytes), std::uint64_t(m.l2Ways),
+          std::uint64_t(m.l2Latency), std::uint64_t(m.llcBytes),
+          std::uint64_t(m.llcWays), std::uint64_t(m.llcLatency),
+          std::uint64_t(m.memLatency), std::uint64_t(m.itlbEntries),
+          std::uint64_t(m.itlbWalkLatency),
+          std::uint64_t(m.mshrsReservedForDemand),
+          std::uint64_t(m.metadataDramEvery)}) {
+        h = hashCombine(h, v);
+    }
+    h = hashDouble(h, m.l2InstFraction);
+    h = hashDouble(h, m.llcInstFraction);
+
+    h = hashCombine(h, std::uint64_t(c.prefetcher));
+    for (std::uint64_t v :
+         {std::uint64_t(c.efetch.tableEntries),
+          std::uint64_t(c.efetch.signatureDepth),
+          std::uint64_t(c.efetch.calleesPerEntry),
+          std::uint64_t(c.efetch.lookahead),
+          std::uint64_t(c.efetch.footprintEntries),
+          std::uint64_t(c.mana.regionBlocks),
+          std::uint64_t(c.mana.historyRegions),
+          std::uint64_t(c.mana.indexEntries),
+          std::uint64_t(c.mana.lookahead),
+          std::uint64_t(c.eip.tableEntries),
+          std::uint64_t(c.eip.tableWays),
+          std::uint64_t(c.eip.historyEntries),
+          std::uint64_t(c.eip.maxTargets),
+          std::uint64_t(c.eip.targetRunBlocks),
+          std::uint64_t(c.rdip.tableEntries),
+          std::uint64_t(c.rdip.signatureDepth),
+          std::uint64_t(c.rdip.blocksPerEntry),
+          std::uint64_t(c.hier.compressionEntries),
+          std::uint64_t(c.hier.metadataBufferBytes),
+          std::uint64_t(c.hier.matEntries),
+          std::uint64_t(c.hier.matWays),
+          std::uint64_t(c.hier.maxSegmentsPerBundle),
+          std::uint64_t(c.hier.aheadSegments),
+          std::uint64_t(c.hier.replayDedup),
+          std::uint64_t(c.hier.subSegmentPacing),
+          std::uint64_t(c.hier.supersedeRecords),
+          std::uint64_t(c.hier.trackBundleStats),
+          std::uint64_t(c.extPrefetchToL2),
+          std::uint64_t(c.extPrefetchesPerCycle),
+          std::uint64_t(c.trackReuse)}) {
+        h = hashCombine(h, v);
+    }
+    h = hashDouble(h, c.longRangePercentile);
+    return h;
+}
 
 std::string
 ExperimentRunner::configKey(const SimConfig &c)
@@ -60,46 +168,83 @@ ExperimentRunner::configKey(const SimConfig &c)
     return key.str();
 }
 
-const SimMetrics &
-ExperimentRunner::run(const SimConfig &config)
+namespace detail
 {
-    std::string key = configKey(config);
-    {
-        std::lock_guard<std::mutex> lock(g_mutex);
-        auto it = g_cache.find(key);
-        if (it != g_cache.end())
-            return it->second;
-    }
 
-    Simulator sim(config);
-    SimMetrics metrics = sim.run();
+std::shared_future<SimMetrics>
+acquireSimulation(const SimConfig &config,
+                  std::packaged_task<SimMetrics()> *task)
+{
+    const std::uint64_t hash = configHash(config);
 
     std::lock_guard<std::mutex> lock(g_mutex);
-    ++g_runs;
-    auto [it, inserted] = g_cache.emplace(key, std::move(metrics));
-    (void)inserted;
-    return it->second;
+    std::vector<CacheSlot> &bucket = g_cache[hash];
+    for (const CacheSlot &slot : bucket) {
+        if (slot.config == config)
+            return slot.future;
+    }
+
+    // First request for this config: this caller runs the simulation.
+    std::packaged_task<SimMetrics()> sim([config] {
+        Simulator sim(config);
+        SimMetrics metrics = sim.run();
+        g_runs.fetch_add(1, std::memory_order_relaxed);
+        return metrics;
+    });
+    std::shared_future<SimMetrics> future = sim.get_future().share();
+    bucket.push_back(CacheSlot{config, future});
+    *task = std::move(sim);
+    return future;
+}
+
+} // namespace detail
+
+SimMetrics
+ExperimentRunner::run(const SimConfig &config)
+{
+    std::packaged_task<SimMetrics()> task;
+    std::shared_future<SimMetrics> future =
+        detail::acquireSimulation(config, &task);
+    if (task.valid())
+        task();
+    return future.get();
+}
+
+SimConfig
+fdipBaseline(const SimConfig &config)
+{
+    SimConfig base = config;
+    base.prefetcher = PrefetcherKind::None;
+    base.extPrefetchToL2 = false;
+    return base;
+}
+
+RunPair
+makeRunPair(SimMetrics run, SimMetrics base)
+{
+    RunPair pair;
+    pair.run = std::move(run);
+    pair.base = std::move(base);
+    pair.paired = pairedMetrics(pair.run, pair.base);
+    return pair;
 }
 
 RunPair
 ExperimentRunner::runPair(const SimConfig &config)
 {
-    SimConfig base_cfg = config;
-    base_cfg.prefetcher = PrefetcherKind::None;
-    base_cfg.extPrefetchToL2 = false;
-
-    RunPair pair;
-    pair.run = run(config);
-    pair.base = run(base_cfg);
-    pair.paired = pairedMetrics(pair.run, pair.base);
-    return pair;
+    // Submit both halves before waiting so they can overlap on the
+    // executor's workers.
+    Executor &ex = Executor::global();
+    std::shared_future<SimMetrics> run = ex.submit(config);
+    std::shared_future<SimMetrics> base =
+        ex.submit(fdipBaseline(config));
+    return makeRunPair(run.get(), base.get());
 }
 
 std::size_t
 ExperimentRunner::simulationsRun()
 {
-    std::lock_guard<std::mutex> lock(g_mutex);
-    return g_runs;
+    return g_runs.load(std::memory_order_relaxed);
 }
 
 SimConfig

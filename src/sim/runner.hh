@@ -2,12 +2,16 @@
  * @file
  * Experiment runner: memoized simulation runs plus the paired
  * run-vs-FDIP-baseline computation every figure needs. Within one
- * process, identical configurations are simulated once.
+ * process, identical configurations are simulated once — even when
+ * requested concurrently from many threads: the cache stores futures,
+ * so every requester of a config blocks on the one in-flight
+ * simulation instead of racing or double-running it.
  */
 
 #ifndef HP_SIM_RUNNER_HH
 #define HP_SIM_RUNNER_HH
 
+#include <future>
 #include <string>
 
 #include "sim/config.hh"
@@ -25,22 +29,51 @@ struct RunPair
     PairedMetrics paired;
 };
 
-/** Memoized simulation driver. */
+/** The FDIP-only twin of @p config (the baseline of every pair). */
+SimConfig fdipBaseline(const SimConfig &config);
+
+/** Assembles a RunPair from two finished runs. */
+RunPair makeRunPair(SimMetrics run, SimMetrics base);
+
+/** Memoized, thread-safe simulation driver. */
 class ExperimentRunner
 {
   public:
-    /** Runs (or returns the cached result of) @p config. */
-    static const SimMetrics &run(const SimConfig &config);
+    /**
+     * Runs (or returns the cached result of) @p config. Returns by
+     * value: the cache is shared across threads, so handing out
+     * references into it would race with concurrent insertions.
+     */
+    static SimMetrics run(const SimConfig &config);
 
-    /** Runs @p config and its FDIP-only twin; computes paired metrics. */
+    /** Runs @p config and its FDIP-only twin; computes paired
+     *  metrics. The two runs execute concurrently on the global
+     *  executor when it has idle workers. */
     static RunPair runPair(const SimConfig &config);
 
-    /** Serializes every field that affects the simulation outcome. */
+    /** Serializes every field that affects the simulation outcome
+     *  (debugging aid; the cache itself keys on configHash). */
     static std::string configKey(const SimConfig &config);
 
     /** Number of distinct simulations performed so far. */
     static std::size_t simulationsRun();
 };
+
+namespace detail
+{
+
+/**
+ * Finds or creates the cache slot for @p config and returns its
+ * future. If this call created the slot, @p task is set to the
+ * simulation task and the caller is responsible for executing it
+ * (inline or on a worker thread); every other caller gets the same
+ * future and an invalid task.
+ */
+std::shared_future<SimMetrics>
+acquireSimulation(const SimConfig &config,
+                  std::packaged_task<SimMetrics()> *task);
+
+} // namespace detail
 
 /** A SimConfig with the paper's Table 1 defaults for @p workload. */
 SimConfig defaultConfig(const std::string &workload,

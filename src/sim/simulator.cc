@@ -72,13 +72,6 @@ Simulator::ensureWindow(std::uint64_t up_to_seq)
     }
 }
 
-Simulator::WinInst &
-Simulator::at(std::uint64_t seq)
-{
-    ensureWindow(seq);
-    return window_[seq - windowBase_];
-}
-
 void
 Simulator::stepPredict()
 {
@@ -89,7 +82,11 @@ Simulator::stepPredict()
             return;
 
         // Build one fetch block: consecutive instructions in the same
-        // cache block, ending at a taken control transfer.
+        // cache block, ending at a taken control transfer. at() is
+        // inline — the materialized-already fast path is one compare,
+        // and instructions are pulled from the engine exactly on
+        // first touch (pull-ahead is an observable engine stat, so it
+        // must not change).
         std::uint64_t seq = bpSeq_;
         Addr block = blockAlign(at(seq).inst.pc);
         std::uint64_t end = seq;
@@ -178,9 +175,14 @@ Simulator::stepPredict()
 void
 Simulator::stepExtPrefetch()
 {
-    if (!pf_)
-        return;
-    pf_->tick(cycle_);
+    // Caller guarantees pf_ != nullptr (check hoisted out of the
+    // per-cycle loop). The Hierarchical tick is called through the
+    // concrete final type so it devirtualizes; tick is a no-op for
+    // the other prefetchers.
+    if (hierPf_)
+        hierPf_->tick(cycle_);
+    else
+        pf_->tick(cycle_);
     Addr block;
     for (unsigned i = 0; i < cfg_.extPrefetchesPerCycle; ++i) {
         // Back-pressure: keep requests queued while the MSHRs are
@@ -265,11 +267,16 @@ Simulator::stepFetch()
             }
         }
 
-        // Consume instructions from this entry.
-        while (budget > 0 && fetchSeq_ < entry.endSeq) {
-            at(fetchSeq_).fetchCycle = cycle_;
-            ++fetchSeq_;
-            --budget;
+        // Consume instructions from this entry as one span: the
+        // prediction unit materialized [startSeq, endSeq) when it
+        // built the entry, so no per-instruction bounds check needed.
+        if (budget > 0 && fetchSeq_ < entry.endSeq) {
+            const std::uint64_t n = std::min<std::uint64_t>(
+                budget, entry.endSeq - fetchSeq_);
+            for (std::uint64_t i = 0; i < n; ++i)
+                atKnown(fetchSeq_ + i).fetchCycle = cycle_;
+            fetchSeq_ += n;
+            budget -= unsigned(n);
         }
         if (fetchSeq_ >= entry.endSeq) {
             // Entry exhausted: a BTB-missed branch at its end resumes
@@ -366,11 +373,13 @@ Simulator::run()
 {
     const std::uint64_t total = cfg_.warmupInsts + cfg_.measureInsts;
     Cycle measure_start_cycle = 0;
+    const bool has_pf = pf_ != nullptr;
 
     while (committed_ < total) {
         hier_.tick(cycle_);
         stepPredict();
-        stepExtPrefetch();
+        if (has_pf)
+            stepExtPrefetch();
         stepFetch();
         // BTB-miss resume.
         if (feBlock_ == FeBlock::BtbMiss && feResumeScheduled_ &&

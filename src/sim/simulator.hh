@@ -17,7 +17,6 @@
 #ifndef HP_SIM_SIMULATOR_HH
 #define HP_SIM_SIMULATOR_HH
 
-#include <deque>
 #include <memory>
 
 #include "cache/reuse_distance.hh"
@@ -28,6 +27,7 @@
 #include "sim/config.hh"
 #include "sim/metrics.hh"
 #include "stats/histogram.hh"
+#include "util/ring_buffer.hh"
 #include "workload/program_builder.hh"
 #include "workload/request_engine.hh"
 
@@ -78,8 +78,24 @@ class Simulator
         Mispredict, ///< Resolved at commit of the branch.
     };
 
+    /** Pulls instructions from the engine until @p up_to_seq exists. */
     void ensureWindow(std::uint64_t up_to_seq);
-    WinInst &at(std::uint64_t seq);
+
+    /** Window access with an inline bounds check; the common case
+     *  (instruction already materialized) costs one compare. */
+    WinInst &
+    at(std::uint64_t seq)
+    {
+        if (seq - windowBase_ >= window_.size())
+            ensureWindow(seq);
+        return window_[seq - windowBase_];
+    }
+
+    /** Unchecked access for spans covered by a prior ensureWindow. */
+    WinInst &atKnown(std::uint64_t seq)
+    {
+        return window_[seq - windowBase_];
+    }
 
     void stepPredict();
     void stepExtPrefetch();
@@ -104,12 +120,12 @@ class Simulator
 
     Cycle cycle_ = 0;
 
-    std::deque<WinInst> window_;
+    RingBuffer<WinInst> window_{512};
     std::uint64_t windowBase_ = 0; ///< Seq of window_.front().
     std::uint64_t bpSeq_ = 0;      ///< Next inst for the BP unit.
     std::uint64_t fetchSeq_ = 0;   ///< Next inst for fetch.
 
-    std::deque<FtqEntry> ftq_;
+    RingBuffer<FtqEntry> ftq_{64};
 
     FeBlock feBlock_ = FeBlock::None;
     std::uint64_t feBlockSeq_ = 0;

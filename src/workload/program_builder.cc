@@ -1,6 +1,7 @@
 #include "workload/program_builder.hh"
 
 #include <algorithm>
+#include <future>
 #include <map>
 #include <mutex>
 
@@ -564,16 +565,36 @@ ProgramBuilder::build(const AppProfile &profile)
 std::shared_ptr<const BuiltApp>
 ProgramBuilder::cached(const AppProfile &profile)
 {
+    // The cache stores futures so that concurrent first requests for
+    // the same binary block on one build, while different binaries
+    // build in parallel (the builder itself runs outside the lock).
+    using AppPtr = std::shared_ptr<const BuiltApp>;
     static std::mutex mutex;
-    static std::map<std::string, std::shared_ptr<const BuiltApp>> cache;
+    static std::map<std::string, std::shared_future<AppPtr>> cache;
 
-    std::lock_guard<std::mutex> lock(mutex);
-    auto it = cache.find(profile.binary);
-    if (it != cache.end())
-        return it->second;
-    auto app = build(profile);
-    cache[profile.binary] = app;
-    return app;
+    std::shared_ptr<std::promise<AppPtr>> promise;
+    std::shared_future<AppPtr> future;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        auto it = cache.find(profile.binary);
+        if (it != cache.end()) {
+            future = it->second;
+        } else {
+            promise = std::make_shared<std::promise<AppPtr>>();
+            future = promise->get_future().share();
+            cache.emplace(profile.binary, future);
+        }
+    }
+
+    if (promise) {
+        try {
+            promise->set_value(build(profile));
+        } catch (...) {
+            promise->set_exception(std::current_exception());
+            throw;
+        }
+    }
+    return future.get();
 }
 
 } // namespace hp

@@ -21,13 +21,32 @@ quickConfig(PrefetcherKind kind = PrefetcherKind::None)
 TEST(RunnerTest, MemoizesIdenticalConfigs)
 {
     std::size_t before = ExperimentRunner::simulationsRun();
-    const SimMetrics &a = ExperimentRunner::run(quickConfig());
+    SimMetrics a = ExperimentRunner::run(quickConfig());
     std::size_t after_first = ExperimentRunner::simulationsRun();
-    const SimMetrics &b = ExperimentRunner::run(quickConfig());
+    SimMetrics b = ExperimentRunner::run(quickConfig());
     std::size_t after_second = ExperimentRunner::simulationsRun();
     EXPECT_GE(after_first, before); // may have been cached already
     EXPECT_EQ(after_second, after_first);
-    EXPECT_EQ(&a, &b);
+    // run() returns by value (the cache is shared across threads),
+    // but both calls report the one cached simulation.
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+}
+
+TEST(RunnerTest, ConfigHashDistinguishesKnobsAndMatchesEquality)
+{
+    SimConfig base = quickConfig();
+    EXPECT_EQ(configHash(base), configHash(quickConfig()));
+    EXPECT_TRUE(base == quickConfig());
+
+    SimConfig tweaked = base;
+    tweaked.hier.aheadSegments = 7;
+    EXPECT_NE(configHash(tweaked), configHash(base));
+    EXPECT_FALSE(tweaked == base);
+
+    SimConfig other_workload = base;
+    other_workload.workload = "gin";
+    EXPECT_NE(configHash(other_workload), configHash(base));
 }
 
 TEST(RunnerTest, ConfigKeyDistinguishesEveryKnob)

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/ring_buffer.hh"
+
+namespace hp
+{
+namespace
+{
+
+TEST(RingBufferTest, StartsEmpty)
+{
+    RingBuffer<int> ring;
+    EXPECT_TRUE(ring.empty());
+    EXPECT_EQ(ring.size(), 0u);
+}
+
+TEST(RingBufferTest, FifoOrder)
+{
+    RingBuffer<int> ring(4);
+    for (int i = 0; i < 3; ++i)
+        ring.push_back(i);
+    EXPECT_EQ(ring.size(), 3u);
+    EXPECT_EQ(ring.front(), 0);
+    EXPECT_EQ(ring.back(), 2);
+    ring.pop_front();
+    EXPECT_EQ(ring.front(), 1);
+    EXPECT_EQ(ring[1], 2);
+}
+
+TEST(RingBufferTest, WrapsAroundCapacity)
+{
+    RingBuffer<int> ring(4);
+    for (int i = 0; i < 4; ++i)
+        ring.push_back(i);
+    // Pop two, push two: the new elements wrap physically but the
+    // logical order stays FIFO.
+    ring.pop_front();
+    ring.pop_front();
+    ring.push_back(4);
+    ring.push_back(5);
+    EXPECT_EQ(ring.size(), 4u);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(ring[i], i + 2);
+}
+
+TEST(RingBufferTest, GrowsPreservingOrder)
+{
+    RingBuffer<int> ring(2);
+    // Misalign head first so growth has to unwrap.
+    ring.push_back(-1);
+    ring.pop_front();
+    for (int i = 0; i < 100; ++i)
+        ring.push_back(i);
+    EXPECT_EQ(ring.size(), 100u);
+    EXPECT_GE(ring.capacity(), 100u);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(ring[i], i);
+}
+
+TEST(RingBufferTest, ClearResets)
+{
+    RingBuffer<std::string> ring(4);
+    ring.push_back("a");
+    ring.push_back("b");
+    ring.clear();
+    EXPECT_TRUE(ring.empty());
+    ring.push_back("c");
+    EXPECT_EQ(ring.front(), "c");
+    EXPECT_EQ(ring.back(), "c");
+}
+
+TEST(RingBufferTest, PopReleasesElementState)
+{
+    RingBuffer<std::string> ring(2);
+    ring.push_back("payload");
+    ring.pop_front();
+    ring.push_back("x");
+    // The slot the popped element occupied was reset to a default
+    // value, not left holding the old payload.
+    EXPECT_EQ(ring.front(), "x");
+    EXPECT_EQ(ring.size(), 1u);
+}
+
+TEST(RingBufferTest, RoundTripManyOperations)
+{
+    RingBuffer<int> ring(4);
+    int pushed = 0, popped = 0;
+    for (int round = 0; round < 1000; ++round) {
+        ring.push_back(pushed++);
+        if (round % 3 != 0) {
+            EXPECT_EQ(ring.front(), popped);
+            ring.pop_front();
+            ++popped;
+        }
+    }
+    EXPECT_EQ(ring.size(), std::size_t(pushed - popped));
+    for (int i = 0; popped + i < pushed; ++i)
+        EXPECT_EQ(ring[i], popped + i);
+}
+
+} // namespace
+} // namespace hp
