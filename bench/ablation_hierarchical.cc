@@ -33,8 +33,9 @@ struct Variant
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    hpbench::JsonReportScope report(argc, argv, "ablation_hierarchical");
     const Variant variants[] = {
         {"default (paper design)", [](HierarchicalConfig &) {}},
         {"no supersede (accumulate records)",

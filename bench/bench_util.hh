@@ -1,18 +1,24 @@
 /**
  * @file
  * Shared helpers for the table/figure benchmark harnesses: the standard
- * prefetcher lineup, geometric/arithmetic means, and the paper-vs-
- * measured footer each bench prints.
+ * prefetcher lineup, geometric/arithmetic means, the paper-vs-measured
+ * footer each bench prints, and the opt-in JSON run-report scope
+ * (`--json[=path]` flag or HP_STATS_JSON=path) that writes a
+ * machine-readable stats document next to the unchanged text output.
  */
 
 #ifndef HP_BENCH_BENCH_UTIL_HH
 #define HP_BENCH_BENCH_UTIL_HH
 
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "sim/executor.hh"
+#include "sim/run_report.hh"
 #include "sim/runner.hh"
 #include "stats/table.hh"
 #include "workload/app_profile.hh"
@@ -63,6 +69,83 @@ mean(const std::vector<double> &values)
         sum += v;
     return sum / double(values.size());
 }
+
+/**
+ * Geometric mean of a vector (0 for empty). The right average for
+ * ratios such as speedups; pass the ratio itself (1.0 = no change),
+ * not the percent delta. Non-positive entries are a caller bug and
+ * yield 0, never NaN.
+ */
+inline double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values) {
+        if (v <= 0.0)
+            return 0.0;
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / double(values.size()));
+}
+
+/**
+ * Opt-in machine-readable run reports. Construct at the top of a
+ * bench's main(); if `--json` (default path "<bench>.stats.json"),
+ * `--json=<path>`, or the HP_STATS_JSON environment variable enables
+ * reporting, every simulation the harness runs is recorded and the
+ * JSON document is written at scope exit (or by an explicit write()).
+ * The bench's stdout text output is never touched.
+ */
+class JsonReportScope
+{
+  public:
+    JsonReportScope(int argc, char **argv, const std::string &bench)
+    {
+        for (int i = 1; i < argc; ++i) {
+            if (std::strcmp(argv[i], "--json") == 0)
+                path_ = bench + ".stats.json";
+            else if (std::strncmp(argv[i], "--json=", 7) == 0)
+                path_ = argv[i] + 7;
+        }
+        if (path_.empty()) {
+            if (const char *env = std::getenv("HP_STATS_JSON"))
+                path_ = env;
+        }
+        if (!path_.empty())
+            hp::RunReportLog::enable();
+    }
+
+    ~JsonReportScope() { write(); }
+
+    bool enabled() const { return !path_.empty(); }
+    const std::string &path() const { return path_; }
+
+    /** Writes the report now (idempotent; also runs at destruction). */
+    void
+    write()
+    {
+        if (path_.empty() || written_)
+            return;
+        written_ = true;
+        std::string doc = hp::RunReportLog::documentJson();
+        std::FILE *f = std::fopen(path_.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot write stats report to %s\n",
+                         path_.c_str());
+            return;
+        }
+        std::fwrite(doc.data(), 1, doc.size(), f);
+        std::fclose(f);
+        std::fprintf(stderr, "stats report: %s (%zu runs)\n",
+                     path_.c_str(), hp::RunReportLog::size());
+    }
+
+  private:
+    std::string path_;
+    bool written_ = false;
+};
 
 /**
  * Prints the standard footer: what the paper reports for this

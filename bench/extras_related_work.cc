@@ -12,8 +12,9 @@
 #include "bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    hpbench::JsonReportScope report(argc, argv, "extras_related_work");
     using namespace hp;
 
     AsciiTable table(

@@ -18,8 +18,9 @@
 #include "workload/request_engine.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    hpbench::JsonReportScope report(argc, argv, "fig01_stage_footprints");
     using namespace hp;
 
     const std::string workload = "tidb-tpcc";

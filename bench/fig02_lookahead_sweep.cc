@@ -63,8 +63,9 @@ sweep(const char *title, PrefetcherKind kind,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    hpbench::JsonReportScope report(argc, argv, "fig02_lookahead_sweep");
     sweep("Figure 2a: MANA look-ahead (spatial regions)",
           PrefetcherKind::Mana, {1, 2, 3, 4, 6, 8, 16});
     sweep("Figure 2b: EFetch look-ahead (callees)",

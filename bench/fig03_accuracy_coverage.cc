@@ -11,8 +11,9 @@
 #include "bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    hpbench::JsonReportScope report(argc, argv, "fig03_accuracy_coverage");
     using namespace hp;
 
     AsciiTable table(

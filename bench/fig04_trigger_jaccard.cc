@@ -15,8 +15,9 @@
 #include "workload/request_engine.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    hpbench::JsonReportScope report(argc, argv, "fig04_trigger_jaccard");
     using namespace hp;
 
     constexpr std::uint64_t kInsts = 2'000'000;

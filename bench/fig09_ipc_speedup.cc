@@ -11,8 +11,9 @@
 #include "bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    hpbench::JsonReportScope report(argc, argv, "fig09_ipc_speedup");
     using namespace hp;
 
     AsciiTable table("Figure 9: IPC speedup over FDIP");

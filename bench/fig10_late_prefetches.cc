@@ -10,8 +10,9 @@
 #include "bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    hpbench::JsonReportScope report(argc, argv, "fig10_late_prefetches");
     using namespace hp;
 
     AsciiTable table("Figure 10: late prefetches (hit in MSHR)");

@@ -12,8 +12,9 @@
 #include "bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    hpbench::JsonReportScope report(argc, argv, "fig11_miss_latency");
     using namespace hp;
 
     AsciiTable table(

@@ -11,8 +11,9 @@
 #include "bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    hpbench::JsonReportScope report(argc, argv, "fig12_long_range");
     using namespace hp;
 
     AsciiTable table(

@@ -42,8 +42,9 @@ meanSpeedup(const std::vector<RunPair> &pairs, std::size_t &next)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    hpbench::JsonReportScope report(argc, argv, "fig13_metadata_sensitivity");
     // The synthetic binaries are ~10x smaller than the paper's (see
     // EXPERIMENTS.md), so their dynamically-hot Bundle population is
     // ~10x smaller too; the sweep extends below the paper's range so

@@ -12,8 +12,9 @@
 #include "bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    hpbench::JsonReportScope report(argc, argv, "fig14_infinite_btb");
     using namespace hp;
 
     AsciiTable table("Figure 14: speedup over FDIP with infinite BTB");

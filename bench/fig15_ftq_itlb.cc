@@ -11,8 +11,9 @@
 #include "bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    hpbench::JsonReportScope report(argc, argv, "fig15_ftq_itlb");
     using namespace hp;
 
     // Submit both sweeps' grids up front so part (b) overlaps (a).

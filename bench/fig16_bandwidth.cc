@@ -12,8 +12,9 @@
 #include "bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    hpbench::JsonReportScope report(argc, argv, "fig16_bandwidth");
     using namespace hp;
 
     AsciiTable table("Figure 16: memory bandwidth vs FDIP baseline");

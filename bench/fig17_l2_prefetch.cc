@@ -10,8 +10,9 @@
 #include "bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    hpbench::JsonReportScope report(argc, argv, "fig17_l2_prefetch");
     using namespace hp;
 
     AsciiTable table("Figure 17: Hierarchical prefetching into the L2");

@@ -35,6 +35,8 @@ secondsSince(std::chrono::steady_clock::time_point start)
 int
 main(int argc, char **argv)
 {
+    hpbench::JsonReportScope report(argc, argv,
+                                    "micro_sim_throughput");
     bool quick = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--quick") == 0)

@@ -15,8 +15,9 @@
 #include "bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    hpbench::JsonReportScope report(argc, argv, "table2_distance_accuracy");
     using namespace hp;
 
     std::vector<SimConfig> grid;

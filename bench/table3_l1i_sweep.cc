@@ -12,8 +12,9 @@
 #include "bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    hpbench::JsonReportScope report(argc, argv, "table3_l1i_sweep");
     using namespace hp;
 
     AsciiTable table(

@@ -15,8 +15,9 @@
 #include "workload/program_builder.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    hpbench::JsonReportScope report(argc, argv, "table4_bundle_stats");
     using namespace hp;
 
     AsciiTable table("Table 4: Bundle statistics per binary");

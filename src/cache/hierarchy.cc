@@ -309,6 +309,60 @@ CacheHierarchy::metadataWrite(std::uint64_t bytes, Cycle now)
     stats_.dramMetadataWriteBytes += bytes;
 }
 
+namespace
+{
+
+/** Registers one PrefetchStats group under @p prefix. */
+void
+registerPrefetchStats(StatsRegistry &reg, const std::string &prefix,
+                      const PrefetchStats &ps)
+{
+    reg.add(prefix + ".issued", [&ps] { return ps.issued; });
+    reg.add(prefix + ".redundant", [&ps] { return ps.redundant; });
+    reg.add(prefix + ".dropped", [&ps] { return ps.dropped; });
+    reg.add(prefix + ".inserted", [&ps] { return ps.inserted; });
+    reg.add(prefix + ".useful_l1", [&ps] { return ps.usefulL1; });
+    reg.add(prefix + ".useful_l2", [&ps] { return ps.usefulL2; });
+    reg.add(prefix + ".late_merges", [&ps] { return ps.lateMerges; });
+    reg.add(prefix + ".useless_evicted",
+            [&ps] { return ps.uselessEvicted; });
+}
+
+} // namespace
+
+void
+CacheHierarchy::registerStats(StatsRegistry &reg) const
+{
+    const HierarchyStats &s = stats_;
+    reg.add("l1i.demand_accesses", [&s] { return s.demandAccesses; });
+    reg.add("l1i.demand_misses", [&s] { return s.demandL1Misses; });
+    reg.add("l2i.demand_misses", [&s] { return s.demandL2Misses; });
+    reg.add("llc.demand_misses", [&s] { return s.demandLlcMisses; });
+    reg.add("l1i.served_by_l2", [&s] { return s.servedByL2; });
+    reg.add("l1i.served_by_llc", [&s] { return s.servedByLlc; });
+    reg.add("l1i.served_by_mem", [&s] { return s.servedByMem; });
+    reg.add("l1i.served_by_mshr", [&s] { return s.servedByMshr; });
+    reg.add("l1i.miss_cycles_l2", [&s] { return s.missCyclesL2; });
+    reg.add("l1i.miss_cycles_llc", [&s] { return s.missCyclesLlc; });
+    reg.add("l1i.miss_cycles_mem", [&s] { return s.missCyclesMem; });
+    reg.add("l1i.miss_cycles_mshr", [&s] { return s.missCyclesMshr; });
+
+    registerPrefetchStats(reg, "fdip", s.fdip);
+    registerPrefetchStats(reg, "ext", s.ext);
+    reg.add("ext.useful_distance_samples",
+            [&s] { return s.extUsefulDistance.count(); });
+
+    reg.add("dram.demand_bytes", [&s] { return s.dramDemandBytes; });
+    reg.add("dram.fdip_bytes", [&s] { return s.dramFdipBytes; });
+    reg.add("dram.ext_bytes", [&s] { return s.dramExtBytes; });
+    reg.add("dram.metadata_read_bytes",
+            [&s] { return s.dramMetadataReadBytes; });
+    reg.add("dram.metadata_write_bytes",
+            [&s] { return s.dramMetadataWriteBytes; });
+
+    itlb_.registerStats(reg, "itlb");
+}
+
 void
 CacheHierarchy::resetStats()
 {

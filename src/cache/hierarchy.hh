@@ -14,6 +14,7 @@
 #ifndef HP_CACHE_HIERARCHY_HH
 #define HP_CACHE_HIERARCHY_HH
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <map>
@@ -24,6 +25,7 @@
 #include "cache/tlb.hh"
 #include "prefetch/prefetcher.hh"
 #include "stats/histogram.hh"
+#include "stats/registry.hh"
 #include "util/types.hh"
 
 namespace hp
@@ -104,9 +106,15 @@ struct PrefetchStats
     double
     accuracy() const
     {
+        // Served can transiently exceed inserted: a late merge is
+        // counted when the demand merges, but the insertion only
+        // lands when the fill completes, so a run can end with merges
+        // whose fill is still in flight. Use the larger of the two as
+        // the denominator so accuracy stays in [0, 1] while remaining
+        // exactly served/inserted in the steady-state case.
         std::uint64_t served = usefulL1 + lateMerges;
-        std::uint64_t total = inserted ? inserted : 1;
-        return double(served) / double(total);
+        std::uint64_t total = std::max(inserted, served);
+        return total ? double(served) / double(total) : 0.0;
     }
 
     /** Fraction of demand-serving prefetches that arrived late. */
@@ -222,6 +230,14 @@ class CacheHierarchy : public MetadataMemory
     void metadataWrite(std::uint64_t bytes, Cycle now) override;
 
     const HierarchyStats &stats() const { return stats_; }
+
+    /**
+     * Registers every hierarchy counter: the l1i/l2i/llc demand path,
+     * the per-origin fdip/ext prefetch stats, DRAM traffic buckets,
+     * and the I-TLB (which this hierarchy owns) under "itlb".
+     */
+    void registerStats(StatsRegistry &reg) const;
+
     Tlb &itlb() { return itlb_; }
     SetAssocCache &l1i() { return l1i_; }
     SetAssocCache &l2() { return l2_; }

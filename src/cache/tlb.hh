@@ -13,6 +13,7 @@
 #include <list>
 #include <unordered_map>
 
+#include "stats/registry.hh"
 #include "util/types.hh"
 
 namespace hp
@@ -38,6 +39,14 @@ class Tlb
     std::uint64_t accesses() const { return accesses_; }
     std::uint64_t misses() const { return misses_; }
     Cycle walkLatency() const { return walkLatency_; }
+
+    /** Registers this TLB's counters under @p prefix. */
+    void
+    registerStats(StatsRegistry &reg, const std::string &prefix) const
+    {
+        reg.add(prefix + ".accesses", [this] { return accesses_; });
+        reg.add(prefix + ".misses", [this] { return misses_; });
+    }
 
     void resetStats();
 

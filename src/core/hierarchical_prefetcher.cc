@@ -46,6 +46,38 @@ HierarchicalPrefetcher::storageBits() const
 }
 
 void
+HierarchicalPrefetcher::registerStats(StatsRegistry &reg,
+                                      const std::string &prefix) const
+{
+    Prefetcher::registerStats(reg, prefix);
+    const HierarchicalStats &s = stats_;
+    reg.add(prefix + ".tagged_commits",
+            [&s] { return s.taggedCommits; });
+    reg.add(prefix + ".bundles_started",
+            [&s] { return s.bundlesStarted; });
+    reg.add(prefix + ".mat_hits", [&s] { return s.matHits; });
+    reg.add(prefix + ".mat_misses", [&s] { return s.matMisses; });
+    reg.add(prefix + ".mat_invalidations",
+            [&s] { return s.matInvalidations; });
+    reg.add(prefix + ".segments_allocated",
+            [&s] { return s.segmentsAllocated; });
+    reg.add(prefix + ".regions_recorded",
+            [&s] { return s.regionsRecorded; });
+    reg.add(prefix + ".replays_started",
+            [&s] { return s.replaysStarted; });
+    reg.add(prefix + ".replay_prefetches",
+            [&s] { return s.replayPrefetches; });
+    reg.add(prefix + ".records_truncated",
+            [&s] { return s.recordsTruncated; });
+    reg.add(prefix + ".metadata_read_bytes",
+            [&s] { return s.metadataReadBytes; });
+    reg.add(prefix + ".metadata_write_bytes",
+            [&s] { return s.metadataWriteBytes; });
+    reg.add(prefix + ".dynamic_bundles",
+            [&s] { return s.dynamicBundles; });
+}
+
+void
 HierarchicalPrefetcher::onCommit(const DynInst &inst, Cycle now)
 {
     if (inst.tagged && (isCall(inst.kind) || inst.kind == InstKind::Return))

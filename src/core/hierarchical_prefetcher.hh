@@ -137,6 +137,9 @@ class HierarchicalPrefetcher final : public Prefetcher
 
     void tick(Cycle now) override;
 
+    void registerStats(StatsRegistry &reg,
+                       const std::string &prefix) const override;
+
     const HierarchicalStats &stats() const { return stats_; }
 
     const HierarchicalConfig &config() const { return config_; }

@@ -13,6 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "stats/registry.hh"
 #include "util/types.hh"
 
 namespace hp
@@ -41,6 +42,14 @@ class Btb
 
     std::uint64_t lookups() const { return lookups_; }
     std::uint64_t misses() const { return misses_; }
+
+    /** Registers this BTB's counters under @p prefix. */
+    void
+    registerStats(StatsRegistry &reg, const std::string &prefix) const
+    {
+        reg.add(prefix + ".lookups", [this] { return lookups_; });
+        reg.add(prefix + ".misses", [this] { return misses_; });
+    }
 
   private:
     struct Way

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "stats/registry.hh"
 #include "util/types.hh"
 
 namespace hp
@@ -47,6 +48,16 @@ class CondPredictor
     mispredictRate() const
     {
         return predictions_ ? double(mispredicts_) / predictions_ : 0.0;
+    }
+
+    /** Registers this predictor's counters under @p prefix. */
+    void
+    registerStats(StatsRegistry &reg, const std::string &prefix) const
+    {
+        reg.add(prefix + ".predictions",
+                [this] { return predictions_; });
+        reg.add(prefix + ".mispredicts",
+                [this] { return mispredicts_; });
     }
 
   private:

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "stats/registry.hh"
 #include "util/types.hh"
 
 namespace hp
@@ -36,6 +37,16 @@ class IndirectPredictor
 
     std::uint64_t predictions() const { return predictions_; }
     std::uint64_t mispredicts() const { return mispredicts_; }
+
+    /** Registers this predictor's counters under @p prefix. */
+    void
+    registerStats(StatsRegistry &reg, const std::string &prefix) const
+    {
+        reg.add(prefix + ".predictions",
+                [this] { return predictions_; });
+        reg.add(prefix + ".mispredicts",
+                [this] { return mispredicts_; });
+    }
 
   private:
     struct Entry

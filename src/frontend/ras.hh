@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "stats/registry.hh"
 #include "util/types.hh"
 
 namespace hp
@@ -39,6 +40,14 @@ class Ras
 
     std::uint64_t overflows() const { return overflows_; }
     std::uint64_t underflows() const { return underflows_; }
+
+    /** Registers this stack's counters under @p prefix. */
+    void
+    registerStats(StatsRegistry &reg, const std::string &prefix) const
+    {
+        reg.add(prefix + ".overflows", [this] { return overflows_; });
+        reg.add(prefix + ".underflows", [this] { return underflows_; });
+    }
 
   private:
     unsigned depth_;

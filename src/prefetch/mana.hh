@@ -56,6 +56,15 @@ class Mana final : public Prefetcher
     /** Stream divergences observed (re-index events). */
     std::uint64_t divergences() const { return divergences_; }
 
+    void
+    registerStats(StatsRegistry &reg,
+                  const std::string &prefix) const override
+    {
+        Prefetcher::registerStats(reg, prefix);
+        reg.add(prefix + ".divergences",
+                [this] { return divergences_; });
+    }
+
   private:
     struct Region
     {

@@ -14,10 +14,11 @@
 #define HP_PREFETCH_PREFETCHER_HH
 
 #include <cstdint>
-#include <deque>
 #include <string>
 
 #include "isa/inst.hh"
+#include "stats/registry.hh"
+#include "util/ring_buffer.hh"
 #include "util/types.hh"
 
 namespace hp
@@ -95,6 +96,22 @@ class Prefetcher
     /** Called once per cycle before the queue is drained. */
     virtual void tick(Cycle now) { (void)now; }
 
+    /**
+     * Registers this prefetcher's counters under @p prefix. The base
+     * registers the request-queue counters every prefetcher shares;
+     * overrides add their own and must call the base.
+     */
+    virtual void
+    registerStats(StatsRegistry &reg, const std::string &prefix) const
+    {
+        reg.add(prefix + ".requests_pushed",
+                [this] { return pushed_; });
+        reg.add(prefix + ".requests_popped",
+                [this] { return popped_; });
+        reg.add(prefix + ".requests_dropped_full",
+                [this] { return droppedFull_; });
+    }
+
     /** Pops the next prefetch block address; false if queue empty. */
     bool
     popRequest(Addr &block)
@@ -103,6 +120,7 @@ class Prefetcher
             return false;
         block = queue_.front();
         queue_.pop_front();
+        ++popped_;
         return true;
     }
 
@@ -115,8 +133,12 @@ class Prefetcher
     void
     push(Addr block)
     {
-        if (queue_.size() < maxQueue_)
-            queue_.push_back(block);
+        if (queue_.size() >= maxQueue_) {
+            ++droppedFull_;
+            return;
+        }
+        queue_.push_back(block);
+        ++pushed_;
     }
 
     /** Sets the request-queue capacity (bulk prefetchers need more). */
@@ -126,7 +148,12 @@ class Prefetcher
 
   private:
     std::size_t maxQueue_ = 512;
-    std::deque<Addr> queue_;
+    /** FIFO request queue; a ring keeps the pop/push path pointer-
+     *  chase free (the deque paid a double indirection per access). */
+    RingBuffer<Addr> queue_{64};
+    std::uint64_t pushed_ = 0;
+    std::uint64_t popped_ = 0;
+    std::uint64_t droppedFull_ = 0;
 };
 
 } // namespace hp

@@ -12,6 +12,7 @@
 
 #include "cache/hierarchy.hh"
 #include "core/hierarchical_prefetcher.hh"
+#include "stats/registry.hh"
 #include "workload/request_engine.hh"
 
 namespace hp
@@ -52,6 +53,14 @@ struct SimMetrics
 
     // Workload stream statistics.
     EngineStats engine;
+
+    /**
+     * Measurement-phase delta of every registered counter, keyed by
+     * dotted path (see Simulator::stats()). The scalar fields above
+     * are derived from this snapshot; it also feeds the JSON run
+     * reports (sim/run_report.hh).
+     */
+    StatsSnapshot stats;
 
     /** Total simulated DRAM traffic in bytes (Figure 16 numerator). */
     std::uint64_t

@@ -1,0 +1,134 @@
+#include "sim/run_report.hh"
+
+#include <atomic>
+#include <mutex>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "sim/runner.hh"
+
+namespace hp
+{
+
+namespace
+{
+
+struct RecordedRun
+{
+    std::string workload;
+    std::string prefetcher;
+    std::string configKey;
+    SimMetrics metrics;
+};
+
+std::atomic<bool> g_enabled{false};
+std::mutex g_mutex;
+std::vector<RecordedRun> &
+recordedRuns()
+{
+    static std::vector<RecordedRun> runs;
+    return runs;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+std::string
+fmtDouble(double v)
+{
+    std::ostringstream out;
+    out.precision(17);
+    out << v;
+    return out.str();
+}
+
+} // namespace
+
+void
+RunReportLog::enable()
+{
+    g_enabled.store(true, std::memory_order_release);
+}
+
+bool
+RunReportLog::enabled()
+{
+    return g_enabled.load(std::memory_order_acquire);
+}
+
+void
+RunReportLog::record(const SimConfig &config, const SimMetrics &m)
+{
+    if (!enabled())
+        return;
+    RecordedRun run;
+    run.workload = config.workload;
+    run.prefetcher = prefetcherName(config.prefetcher);
+    run.configKey = ExperimentRunner::configKey(config);
+    run.metrics = m;
+    std::lock_guard<std::mutex> lock(g_mutex);
+    recordedRuns().push_back(std::move(run));
+}
+
+std::size_t
+RunReportLog::size()
+{
+    std::lock_guard<std::mutex> lock(g_mutex);
+    return recordedRuns().size();
+}
+
+std::string
+RunReportLog::documentJson()
+{
+    std::lock_guard<std::mutex> lock(g_mutex);
+    std::ostringstream out;
+    out << "{\n  \"schema\": \"hp-stats-report-v1\",\n  \"runs\": [";
+    bool first = true;
+    for (const RecordedRun &run : recordedRuns()) {
+        const SimMetrics &m = run.metrics;
+        out << (first ? "" : ",") << "\n    {\n"
+            << "      \"workload\": \"" << jsonEscape(run.workload)
+            << "\",\n"
+            << "      \"prefetcher\": \"" << jsonEscape(run.prefetcher)
+            << "\",\n"
+            << "      \"config_key\": \"" << jsonEscape(run.configKey)
+            << "\",\n"
+            << "      \"stats\": "
+            << m.stats.toJson(6).substr(6) << ",\n"
+            << "      \"derived\": {\n"
+            << "        \"ipc\": " << fmtDouble(m.ipc()) << ",\n"
+            << "        \"ext_accuracy\": "
+            << fmtDouble(m.mem.ext.accuracy()) << ",\n"
+            << "        \"ext_late_fraction\": "
+            << fmtDouble(m.mem.ext.lateFraction()) << ",\n"
+            << "        \"ext_avg_distance\": "
+            << fmtDouble(m.mem.extUsefulDistance.mean()) << ",\n"
+            << "        \"data_dram_bytes\": " << m.dataDramBytes
+            << ",\n"
+            << "        \"total_dram_bytes\": " << m.totalDramBytes()
+            << "\n      }\n    }";
+        first = false;
+    }
+    out << "\n  ]\n}\n";
+    return out.str();
+}
+
+void
+RunReportLog::clear()
+{
+    std::lock_guard<std::mutex> lock(g_mutex);
+    recordedRuns().clear();
+}
+
+} // namespace hp

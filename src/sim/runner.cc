@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "sim/executor.hh"
+#include "sim/run_report.hh"
 #include "util/hash.hh"
 
 namespace hp
@@ -189,6 +190,7 @@ acquireSimulation(const SimConfig &config,
         Simulator sim(config);
         SimMetrics metrics = sim.run();
         g_runs.fetch_add(1, std::memory_order_relaxed);
+        RunReportLog::record(config, metrics);
         return metrics;
     });
     std::shared_future<SimMetrics> future = sim.get_future().share();

@@ -59,6 +59,37 @@ Simulator::Simulator(const SimConfig &config)
     hierPf_ = dynamic_cast<HierarchicalPrefetcher *>(pf_.get());
     if (cfg_.trackReuse)
         reuseHist_ = std::make_unique<Histogram>(64.0, 4096);
+    registerStats();
+}
+
+void
+Simulator::registerStats()
+{
+    registry_.add("sim.cycles", [this] { return cycle_; });
+    registry_.add("sim.instructions",
+                  [this] { return metrics_.instructions; });
+    registry_.add("sim.committed", [this] { return committed_; });
+    registry_.add("sim.fetch_stall_cycles",
+                  [this] { return metrics_.fetchStallCycles; });
+    registry_.add("sim.backend_stall_cycles",
+                  [this] { return metrics_.backendStallCycles; });
+    registry_.add("sim.ras_mispredicts",
+                  [this] { return rasMispredicts_; });
+    registry_.add("sim.long_range_accesses",
+                  [this] { return metrics_.longRangeAccesses; });
+    registry_.add("sim.long_range_l2_misses",
+                  [this] { return metrics_.longRangeL2Misses; });
+
+    hier_.registerStats(registry_);
+    btb_.registerStats(registry_, "btb");
+    condPred_.registerStats(registry_, "cond");
+    indirectPred_.registerStats(registry_, "indirect");
+    ras_.registerStats(registry_, "ras");
+    engine_->registerStats(registry_, "engine");
+    // The Hierarchical Prefetcher claims its paper scope "hier";
+    // every other prefetcher registers under the generic "pf".
+    if (pf_)
+        pf_->registerStats(registry_, hierPf_ ? "hier" : "pf");
 }
 
 void
@@ -356,12 +387,10 @@ Simulator::beginMeasurement()
     hier_.resetStats();
     metrics_ = SimMetrics{};
 
-    condBranchesAtWarmup_ = condPred_.predictions();
-    condMispredictsAtWarmup_ = condPred_.mispredicts();
-    indirectMispredictsAtWarmup_ = indirectPred_.mispredicts();
-    btbMissesAtWarmup_ = btb_.misses();
-    rasMispredictsAtWarmup_ = rasMispredicts_;
-    engineAtWarmup_ = engine_->stats();
+    // One generic snapshot marks the warmup boundary for every
+    // registered counter; run() subtracts it from the end-of-run
+    // snapshot. Taken after the resets above so reset counters read 0.
+    warmupSnapshot_ = registry_.snapshot();
 
     if (cfg_.trackReuse)
         longRangeThreshold_ = reuseHist_->percentile(
@@ -372,7 +401,6 @@ SimMetrics
 Simulator::run()
 {
     const std::uint64_t total = cfg_.warmupInsts + cfg_.measureInsts;
-    Cycle measure_start_cycle = 0;
     const bool has_pf = pf_ != nullptr;
 
     while (committed_ < total) {
@@ -390,46 +418,45 @@ Simulator::run()
         }
         stepCommit();
 
-        if (!measuring_ && committed_ >= cfg_.warmupInsts) {
+        if (!measuring_ && committed_ >= cfg_.warmupInsts)
             beginMeasurement();
-            measure_start_cycle = cycle_;
-        }
         ++cycle_;
     }
+    if (!measuring_) // degenerate zero-instruction configs
+        beginMeasurement();
 
-    metrics_.cycles = cycle_ - measure_start_cycle;
+    // Measurement phase = end-of-run snapshot minus the warmup one;
+    // every scalar SimMetrics field derives from this single delta.
+    StatsSnapshot delta =
+        StatsSnapshot::delta(registry_.snapshot(), warmupSnapshot_);
+
+    metrics_.cycles = delta.value("sim.cycles");
     metrics_.mem = hier_.stats();
-    metrics_.itlbAccesses = hier_.itlb().accesses();
-    metrics_.itlbMisses = hier_.itlb().misses();
-    metrics_.condBranches =
-        condPred_.predictions() - condBranchesAtWarmup_;
-    metrics_.condMispredicts =
-        condPred_.mispredicts() - condMispredictsAtWarmup_;
-    metrics_.indirectMispredicts =
-        indirectPred_.mispredicts() - indirectMispredictsAtWarmup_;
-    metrics_.rasMispredicts = rasMispredicts_ - rasMispredictsAtWarmup_;
-    metrics_.btbMissBlocks = btb_.misses() - btbMissesAtWarmup_;
+    metrics_.itlbAccesses = delta.value("itlb.accesses");
+    metrics_.itlbMisses = delta.value("itlb.misses");
+    metrics_.condBranches = delta.value("cond.predictions");
+    metrics_.condMispredicts = delta.value("cond.mispredicts");
+    metrics_.indirectMispredicts = delta.value("indirect.mispredicts");
+    metrics_.rasMispredicts = delta.value("sim.ras_mispredicts");
+    metrics_.btbMissBlocks = delta.value("btb.misses");
 
     if (hierPf_) {
         metrics_.hier = hierPf_->stats();
         metrics_.hierActive = true;
     }
 
-    const EngineStats &eng = engine_->stats();
-    metrics_.engine.instructions =
-        eng.instructions - engineAtWarmup_.instructions;
-    metrics_.engine.requests = eng.requests - engineAtWarmup_.requests;
-    metrics_.engine.calls = eng.calls - engineAtWarmup_.calls;
-    metrics_.engine.returns = eng.returns - engineAtWarmup_.returns;
-    metrics_.engine.condBranches =
-        eng.condBranches - engineAtWarmup_.condBranches;
-    metrics_.engine.taggedInsts =
-        eng.taggedInsts - engineAtWarmup_.taggedInsts;
+    metrics_.engine.instructions = delta.value("engine.instructions");
+    metrics_.engine.requests = delta.value("engine.requests");
+    metrics_.engine.calls = delta.value("engine.calls");
+    metrics_.engine.returns = delta.value("engine.returns");
+    metrics_.engine.condBranches = delta.value("engine.cond_branches");
+    metrics_.engine.taggedInsts = delta.value("engine.tagged_insts");
 
     metrics_.dataDramBytes = static_cast<std::uint64_t>(
         double(metrics_.instructions) / 1000.0 *
         profile_->dataDramBytesPerKiloInst);
 
+    metrics_.stats = std::move(delta);
     return metrics_;
 }
 

@@ -27,6 +27,7 @@
 #include "sim/config.hh"
 #include "sim/metrics.hh"
 #include "stats/histogram.hh"
+#include "stats/registry.hh"
 #include "util/ring_buffer.hh"
 #include "workload/program_builder.hh"
 #include "workload/request_engine.hh"
@@ -52,6 +53,16 @@ class Simulator
 
     /** The built application (for inspection by examples/tests). */
     const BuiltApp &app() const { return *app_; }
+
+    /**
+     * The unified stats registry: every component's counters under
+     * dotted paths (l1i.*, btb.*, cond.*, indirect.*, ras.*, itlb.*,
+     * fdip.*, ext.*, dram.*, engine.*, sim.*, and "pf."/"hier."
+     * prefixes for the prefetcher under test). Snapshot/delta over
+     * this registry is the warmup machinery; run() also embeds the
+     * measurement-phase delta into SimMetrics::stats.
+     */
+    const StatsRegistry &stats() const { return registry_; }
 
   private:
     struct WinInst
@@ -103,6 +114,9 @@ class Simulator
     void stepCommit();
     void beginMeasurement();
 
+    /** Registers every component's counters (constructor helper). */
+    void registerStats();
+
     SimConfig cfg_;
     const AppProfile *profile_;
     std::shared_ptr<const BuiltApp> app_;
@@ -143,15 +157,14 @@ class Simulator
     std::unique_ptr<Histogram> reuseHist_;
     double longRangeThreshold_ = 0.0;
 
-    // Measurement-phase counters.
+    // Measurement-phase counters. Components keep plain fields the
+    // hot path increments; the registry holds reader closures over
+    // them, and the warmup boundary is one generic snapshot instead
+    // of a hand-maintained shadow field per counter.
     SimMetrics metrics_;
-    std::uint64_t condMispredictsAtWarmup_ = 0;
-    std::uint64_t condBranchesAtWarmup_ = 0;
-    std::uint64_t indirectMispredictsAtWarmup_ = 0;
-    std::uint64_t btbMissesAtWarmup_ = 0;
     std::uint64_t rasMispredicts_ = 0;
-    std::uint64_t rasMispredictsAtWarmup_ = 0;
-    EngineStats engineAtWarmup_;
+    StatsRegistry registry_;
+    StatsSnapshot warmupSnapshot_;
 };
 
 } // namespace hp

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "isa/inst.hh"
+#include "stats/registry.hh"
 #include "util/rng.hh"
 #include "workload/program_builder.hh"
 
@@ -54,6 +55,22 @@ class RequestEngine : public InstStream
     bool next(DynInst &inst) override;
 
     const EngineStats &stats() const { return stats_; }
+
+    /** Registers the emitted-stream counters under @p prefix. */
+    void
+    registerStats(StatsRegistry &reg, const std::string &prefix) const
+    {
+        const EngineStats &s = stats_;
+        reg.add(prefix + ".instructions",
+                [&s] { return s.instructions; });
+        reg.add(prefix + ".requests", [&s] { return s.requests; });
+        reg.add(prefix + ".calls", [&s] { return s.calls; });
+        reg.add(prefix + ".returns", [&s] { return s.returns; });
+        reg.add(prefix + ".cond_branches",
+                [&s] { return s.condBranches; });
+        reg.add(prefix + ".tagged_insts",
+                [&s] { return s.taggedInsts; });
+    }
 
     /** Request type of the request currently executing. */
     unsigned currentType() const { return requestType_; }

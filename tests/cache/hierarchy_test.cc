@@ -222,5 +222,34 @@ TEST(HierarchyTest, ResetStatsPreservesContents)
     EXPECT_EQ(hier.demandAccess(blk(0), 1000).level, ServiceLevel::L1);
 }
 
+TEST(HierarchyTest, PrefetchAccuracyClampedToOne)
+{
+    // Late merges are counted when the demand merges into the MSHR,
+    // but the insertion is only counted when the fill completes, so a
+    // run can end with served > inserted. Accuracy must stay in
+    // [0, 1] regardless.
+    PrefetchStats late_only;
+    late_only.issued = 3;
+    late_only.lateMerges = 2;
+    late_only.inserted = 0;
+    EXPECT_DOUBLE_EQ(late_only.accuracy(), 1.0);
+
+    PrefetchStats overshoot;
+    overshoot.inserted = 4;
+    overshoot.usefulL1 = 4;
+    overshoot.lateMerges = 3;
+    EXPECT_DOUBLE_EQ(overshoot.accuracy(), 1.0);
+
+    PrefetchStats idle;
+    EXPECT_DOUBLE_EQ(idle.accuracy(), 0.0);
+
+    // The common case (inserted >= useful + late) is unchanged.
+    PrefetchStats normal;
+    normal.inserted = 10;
+    normal.usefulL1 = 4;
+    normal.lateMerges = 1;
+    EXPECT_DOUBLE_EQ(normal.accuracy(), 0.5);
+}
+
 } // namespace
 } // namespace hp

@@ -134,5 +134,112 @@ TEST(SimulatorTest, StreamIdenticalAcrossPrefetchers)
     EXPECT_EQ(a.engine.taggedInsts, b.engine.taggedInsts);
 }
 
+TEST(SimulatorStatsTest, RegistryCoversEveryComponent)
+{
+    Simulator sim(quickConfig(PrefetcherKind::Hierarchical));
+    const StatsRegistry &reg = sim.stats();
+    for (const char *path :
+         {"sim.cycles", "sim.instructions", "sim.ras_mispredicts",
+          "l1i.demand_accesses", "l1i.demand_misses",
+          "l2i.demand_misses", "llc.demand_misses", "itlb.accesses",
+          "itlb.misses", "btb.lookups", "btb.misses",
+          "cond.predictions", "cond.mispredicts",
+          "indirect.mispredicts", "ras.overflows", "ras.underflows",
+          "fdip.issued", "fdip.useful_l1", "ext.issued",
+          "ext.late_merges", "dram.demand_bytes",
+          "dram.metadata_read_bytes", "engine.instructions",
+          "engine.tagged_insts", "hier.requests_pushed",
+          "hier.tagged_commits", "hier.metadata_read_bytes"}) {
+        EXPECT_TRUE(reg.has(path)) << "missing stat: " << path;
+    }
+    // Non-hierarchical prefetchers register under the generic "pf".
+    Simulator efetch(quickConfig(PrefetcherKind::EFetch));
+    EXPECT_TRUE(efetch.stats().has("pf.requests_pushed"));
+    EXPECT_FALSE(efetch.stats().has("hier.tagged_commits"));
+}
+
+TEST(SimulatorStatsTest, MetricsSnapshotAgreesWithScalarFields)
+{
+    SimMetrics m =
+        Simulator(quickConfig(PrefetcherKind::Hierarchical)).run();
+    // The scalar fields are derived from the embedded snapshot; the
+    // two views must agree exactly.
+    EXPECT_EQ(m.stats.value("sim.cycles"), m.cycles);
+    EXPECT_EQ(m.stats.value("sim.instructions"), m.instructions);
+    EXPECT_EQ(m.stats.value("cond.predictions"), m.condBranches);
+    EXPECT_EQ(m.stats.value("cond.mispredicts"), m.condMispredicts);
+    EXPECT_EQ(m.stats.value("btb.misses"), m.btbMissBlocks);
+    EXPECT_EQ(m.stats.value("itlb.accesses"), m.itlbAccesses);
+    EXPECT_EQ(m.stats.value("l1i.demand_accesses"),
+              m.mem.demandAccesses);
+    EXPECT_EQ(m.stats.value("l1i.demand_misses"),
+              m.mem.demandL1Misses);
+    EXPECT_EQ(m.stats.value("ext.issued"), m.mem.ext.issued);
+    EXPECT_EQ(m.stats.value("engine.instructions"),
+              m.engine.instructions);
+    EXPECT_EQ(m.stats.value("hier.replay_prefetches"),
+              m.hier.replayPrefetches);
+    EXPECT_EQ(m.stats.value("hier.metadata_read_bytes"),
+              m.hier.metadataReadBytes);
+}
+
+// Golden values captured from the seed implementation (the
+// hand-maintained *AtWarmup_ shadow fields and per-counter
+// subtraction block) on this exact config, before the registry
+// refactor. The registry-derived SimMetrics must reproduce the seed
+// path field for field.
+TEST(SimulatorStatsTest, RegistryDerivedMetricsMatchSeedPathFdip)
+{
+    SimMetrics m = Simulator(quickConfig()).run();
+    EXPECT_EQ(m.cycles, 818881u);
+    EXPECT_EQ(m.instructions, 300003u);
+    EXPECT_EQ(m.condBranches, 16531u);
+    EXPECT_EQ(m.condMispredicts, 3313u);
+    EXPECT_EQ(m.indirectMispredicts, 1u);
+    EXPECT_EQ(m.rasMispredicts, 1u);
+    EXPECT_EQ(m.btbMissBlocks, 2200u);
+    EXPECT_EQ(m.fetchStallCycles, 488171u);
+    EXPECT_EQ(m.backendStallCycles, 226751u);
+    EXPECT_EQ(m.itlbAccesses, 31981u);
+    EXPECT_EQ(m.itlbMisses, 182u);
+    EXPECT_EQ(m.mem.demandAccesses, 31981u);
+    EXPECT_EQ(m.mem.demandL1Misses, 4180u);
+    EXPECT_EQ(m.mem.demandL2Misses, 3241u);
+    EXPECT_EQ(m.mem.demandLlcMisses, 3190u);
+    EXPECT_EQ(m.mem.servedByMshr, 3588u);
+    EXPECT_EQ(m.mem.fdip.issued, 31982u);
+    EXPECT_EQ(m.mem.fdip.inserted, 12538u);
+    EXPECT_EQ(m.mem.dramDemandBytes, 448u);
+    EXPECT_EQ(m.dataDramBytes, 120001u);
+    EXPECT_EQ(m.engine.instructions, 300022u);
+    EXPECT_EQ(m.engine.requests, 1u);
+    EXPECT_EQ(m.engine.calls, 595u);
+    EXPECT_EQ(m.engine.returns, 596u);
+    EXPECT_EQ(m.engine.condBranches, 16531u);
+    EXPECT_EQ(m.engine.taggedInsts, 9u);
+}
+
+TEST(SimulatorStatsTest, RegistryDerivedMetricsMatchSeedPathHier)
+{
+    SimMetrics m =
+        Simulator(quickConfig(PrefetcherKind::Hierarchical)).run();
+    EXPECT_EQ(m.cycles, 818776u);
+    EXPECT_EQ(m.instructions, 300003u);
+    EXPECT_EQ(m.condBranches, 16531u);
+    EXPECT_EQ(m.condMispredicts, 3313u);
+    EXPECT_EQ(m.btbMissBlocks, 2200u);
+    EXPECT_EQ(m.fetchStallCycles, 488065u);
+    EXPECT_EQ(m.mem.demandL1Misses, 4178u);
+    EXPECT_EQ(m.mem.demandL2Misses, 3239u);
+    EXPECT_EQ(m.mem.fdip.inserted, 12530u);
+    EXPECT_EQ(m.mem.ext.issued, 12u);
+    EXPECT_EQ(m.mem.ext.inserted, 8u);
+    EXPECT_EQ(m.mem.ext.usefulL1, 7u);
+    EXPECT_EQ(m.mem.ext.lateMerges, 1u);
+    EXPECT_EQ(m.hier.taggedCommits, 15u);
+    EXPECT_EQ(m.hier.replayPrefetches, 12u);
+    EXPECT_EQ(m.hier.metadataReadBytes, 368u);
+}
+
 } // namespace
 } // namespace hp
