@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Tier-1 verification flow, plus the AddressSanitizer pass.
+#
+# Stage 1 is exactly the ROADMAP tier-1 command: configure, build,
+# ctest in build/. Stage 2 rebuilds everything with HP_SANITIZE=address
+# into build-asan/ and reruns the full suite under ASan, so memory
+# errors in the simulator, the checkpoint restore path, and the tests
+# themselves fail CI rather than silently corrupting results.
+#
+# Usage: scripts/tier1.sh [--asan-only|--no-asan]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_stage() {
+    local dir="$1"; shift
+    cmake -B "$dir" -S . "$@"
+    cmake --build "$dir" -j
+    (cd "$dir" && ctest --output-on-failure -j)
+}
+
+stage="${1:-}"
+
+if [[ "$stage" != "--asan-only" ]]; then
+    run_stage build
+fi
+
+if [[ "$stage" != "--no-asan" ]]; then
+    run_stage build-asan -DHP_SANITIZE=address
+fi
+
+echo "tier1: all stages passed"

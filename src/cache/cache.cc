@@ -2,6 +2,7 @@
 
 #include "util/hash.hh"
 #include "util/logging.hh"
+#include "util/serialize.hh"
 
 namespace hp
 {
@@ -122,5 +123,20 @@ SetAssocCache::resetStats()
     accesses_ = 0;
     misses_ = 0;
 }
+
+template <class Ar>
+void
+SetAssocCache::serializeState(Ar &ar)
+{
+    if (!checkShape(ar, lines_))
+        return;
+    io(ar, useClock_);
+    io(ar, lines_);
+    io(ar, accesses_);
+    io(ar, misses_);
+}
+
+template void SetAssocCache::serializeState(StateWriter &);
+template void SetAssocCache::serializeState(StateLoader &);
 
 } // namespace hp

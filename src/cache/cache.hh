@@ -96,6 +96,9 @@ class SetAssocCache
     /** Resets statistics (not contents) at the end of warmup. */
     void resetStats();
 
+    /** Serializes/restores contents and counters (checkpointing). */
+    template <class Ar> void serializeState(Ar &ar);
+
   private:
     struct Line
     {
@@ -104,6 +107,17 @@ class SetAssocCache
         Origin origin = Origin::Demand;
         bool used = false;
         std::uint64_t lastUse = 0;
+
+        template <class Ar>
+        void
+        serializeState(Ar &ar)
+        {
+            ar.value(valid);
+            ar.value(tag);
+            ar.value(origin);
+            ar.value(used);
+            ar.value(lastUse);
+        }
     };
 
     unsigned setIndex(Addr block) const;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/logging.hh"
+#include "util/serialize.hh"
 
 namespace hp
 {
@@ -372,5 +373,24 @@ CacheHierarchy::resetStats()
     llc_.resetStats();
     itlb_.resetStats();
 }
+
+template <class Ar>
+void
+CacheHierarchy::serializeState(Ar &ar)
+{
+    l1i_.serializeState(ar);
+    l2_.serializeState(ar);
+    llc_.serializeState(ar);
+    itlb_.serializeState(ar);
+    io(ar, mshrs_);
+    io(ar, completions_);
+    io(ar, extIssueSeq_);
+    io(ar, fetchBlockSeq_);
+    io(ar, metadataReads_);
+    stats_.serializeState(ar);
+}
+
+template void CacheHierarchy::serializeState(StateWriter &);
+template void CacheHierarchy::serializeState(StateLoader &);
 
 } // namespace hp

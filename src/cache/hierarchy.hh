@@ -124,6 +124,20 @@ struct PrefetchStats
         std::uint64_t served = usefulL1 + lateMerges;
         return served ? double(lateMerges) / double(served) : 0.0;
     }
+
+    template <class Ar>
+    void
+    serializeState(Ar &ar)
+    {
+        ar.value(issued);
+        ar.value(redundant);
+        ar.value(dropped);
+        ar.value(inserted);
+        ar.value(usefulL1);
+        ar.value(usefulL2);
+        ar.value(lateMerges);
+        ar.value(uselessEvicted);
+    }
 };
 
 /** Aggregate hierarchy statistics. */
@@ -172,6 +186,36 @@ struct HierarchyStats
     {
         return missCyclesL2 + missCyclesLlc + missCyclesMem +
                missCyclesMshr;
+    }
+
+    template <class Ar>
+    void
+    serializeState(Ar &ar)
+    {
+        ar.value(demandAccesses);
+        ar.value(demandL1Misses);
+        ar.value(demandL2Misses);
+        ar.value(demandLlcMisses);
+        ar.value(servedByL2);
+        ar.value(servedByLlc);
+        ar.value(servedByMem);
+        ar.value(servedByMshr);
+        ar.value(missCyclesL2);
+        ar.value(missCyclesLlc);
+        ar.value(missCyclesMem);
+        ar.value(missCyclesMshr);
+        fdip.serializeState(ar);
+        ext.serializeState(ar);
+        extUsefulDistance.serializeState(ar);
+        for (std::uint64_t &v : extDistUseful)
+            ar.value(v);
+        for (std::uint64_t &v : extDistUnused)
+            ar.value(v);
+        ar.value(dramDemandBytes);
+        ar.value(dramFdipBytes);
+        ar.value(dramExtBytes);
+        ar.value(dramMetadataReadBytes);
+        ar.value(dramMetadataWriteBytes);
     }
 };
 
@@ -247,6 +291,9 @@ class CacheHierarchy : public MetadataMemory
     /** Clears statistics after warmup (cache contents persist). */
     void resetStats();
 
+    /** Serializes/restores caches, MSHRs, and counters. */
+    template <class Ar> void serializeState(Ar &ar);
+
   private:
     struct Mshr
     {
@@ -258,6 +305,20 @@ class CacheHierarchy : public MetadataMemory
         bool demandMerged = false;
         bool toL2Only = false;
         bool fromMem = false;
+
+        template <class Ar>
+        void
+        serializeState(Ar &ar)
+        {
+            ar.value(block);
+            ar.value(origin);
+            ar.value(readyAt);
+            ar.value(fillL2);
+            ar.value(fillLlc);
+            ar.value(demandMerged);
+            ar.value(toL2Only);
+            ar.value(fromMem);
+        }
     };
 
     PrefetchStats &statsFor(Origin origin);

@@ -1,5 +1,7 @@
 #include "cache/reuse_distance.hh"
 
+#include "util/serialize.hh"
+
 #include <algorithm>
 
 namespace hp
@@ -78,5 +80,17 @@ ReuseDistanceTracker::access(Addr block)
     bitAdd(static_cast<std::size_t>(now), +1);
     return distance;
 }
+
+template <class Ar>
+void
+ReuseDistanceTracker::serializeState(Ar &ar)
+{
+    io(ar, lastSeq_);
+    io(ar, tree_);
+    io(ar, seq_);
+}
+
+template void ReuseDistanceTracker::serializeState(StateWriter &);
+template void ReuseDistanceTracker::serializeState(StateLoader &);
 
 } // namespace hp

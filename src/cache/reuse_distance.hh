@@ -40,6 +40,9 @@ class ReuseDistanceTracker
     /** Unique blocks seen so far. */
     std::size_t uniqueBlocks() const { return lastSeq_.size(); }
 
+    /** Serializes/restores the tracker (checkpointing). */
+    template <class Ar> void serializeState(Ar &ar);
+
   private:
     void bitAdd(std::size_t pos, int delta);
     std::uint64_t bitPrefix(std::size_t pos) const;

@@ -1,6 +1,7 @@
 #include "cache/tlb.hh"
 
 #include "util/logging.hh"
+#include "util/serialize.hh"
 
 namespace hp
 {
@@ -39,5 +40,23 @@ Tlb::resetStats()
     accesses_ = 0;
     misses_ = 0;
 }
+
+template <class Ar>
+void
+Tlb::serializeState(Ar &ar)
+{
+    io(ar, lru_);
+    io(ar, accesses_);
+    io(ar, misses_);
+    if constexpr (Ar::loading) {
+        map_.clear();
+        map_.reserve(lru_.size());
+        for (auto it = lru_.begin(); it != lru_.end(); ++it)
+            map_[*it] = it;
+    }
+}
+
+template void Tlb::serializeState(StateWriter &);
+template void Tlb::serializeState(StateLoader &);
 
 } // namespace hp

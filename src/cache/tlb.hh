@@ -50,6 +50,10 @@ class Tlb
 
     void resetStats();
 
+    /** Serializes/restores the LRU contents and counters; the lookup
+     *  map is rebuilt from the restored list (checkpointing). */
+    template <class Ar> void serializeState(Ar &ar);
+
   private:
     unsigned entries_;
     Cycle walkLatency_;

@@ -1,5 +1,7 @@
 #include "core/compression_buffer.hh"
 
+#include "util/serialize.hh"
+
 #include "util/logging.hh"
 
 namespace hp
@@ -43,5 +45,15 @@ CompressionBuffer::flush()
     fifo_.clear();
     return drained;
 }
+
+template <class Ar>
+void
+CompressionBuffer::serializeState(Ar &ar)
+{
+    io(ar, fifo_);
+}
+
+template void CompressionBuffer::serializeState(StateWriter &);
+template void CompressionBuffer::serializeState(StateLoader &);
 
 } // namespace hp

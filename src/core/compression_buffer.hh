@@ -44,6 +44,9 @@ class CompressionBuffer
     /** On-chip storage in bits (base 58b + vector 32b per entry). */
     std::uint64_t storageBits() const { return std::uint64_t(capacity_) * (58 + 32); }
 
+    /** Serializes/restores the resident regions (checkpointing). */
+    template <class Ar> void serializeState(Ar &ar);
+
   private:
     unsigned capacity_;
     std::deque<SpatialRegion> fifo_;

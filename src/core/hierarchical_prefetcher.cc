@@ -401,4 +401,42 @@ HierarchicalPrefetcher::tick(Cycle now)
     }
 }
 
+template <class Ar>
+void
+HierarchicalPrefetcher::serializeState(Ar &ar)
+{
+    compression_.serializeState(ar);
+    buffer_.serializeState(ar);
+    table_.serializeState(ar);
+    io(ar, recording_);
+    io(ar, recordId_);
+    io(ar, recordHead_);
+    io(ar, recordCur_);
+    io(ar, supersedeNext_);
+    io(ar, recordSegments_);
+    io(ar, recordInsts_);
+    io(ar, recordStartCycle_);
+    io(ar, lastBlock_);
+    io(ar, replay_);
+    io(ar, replayPos_);
+    io(ar, replayIssued_);
+    stats_.serializeState(ar);
+    io(ar, prevFootprint_);
+    io(ar, curFootprint_);
+}
+
+void
+HierarchicalPrefetcher::saveState(StateWriter &ar)
+{
+    Prefetcher::saveState(ar);
+    serializeState(ar);
+}
+
+void
+HierarchicalPrefetcher::restoreState(StateLoader &ar)
+{
+    Prefetcher::restoreState(ar);
+    serializeState(ar);
+}
+
 } // namespace hp

@@ -113,6 +113,29 @@ struct HierarchicalStats
 
     /** Distinct Bundle IDs observed at run time. */
     std::uint64_t dynamicBundles = 0;
+
+    template <class Ar>
+    void
+    serializeState(Ar &ar)
+    {
+        ar.value(taggedCommits);
+        ar.value(bundlesStarted);
+        ar.value(matHits);
+        ar.value(matMisses);
+        ar.value(matInvalidations);
+        ar.value(segmentsAllocated);
+        ar.value(regionsRecorded);
+        ar.value(replaysStarted);
+        ar.value(replayPrefetches);
+        ar.value(recordsTruncated);
+        ar.value(metadataReadBytes);
+        ar.value(metadataWriteBytes);
+        bundleExecInsts.serializeState(ar);
+        bundleExecCycles.serializeState(ar);
+        bundleFootprintBlocks.serializeState(ar);
+        bundleJaccard.serializeState(ar);
+        ar.value(dynamicBundles);
+    }
 };
 
 /** Derives the 24-bit Bundle ID from the post-trigger instruction. */
@@ -147,6 +170,9 @@ class HierarchicalPrefetcher final : public Prefetcher
     /** Metadata Address Table occupancy (diagnostics). */
     std::size_t tableOccupancy() const { return table_.occupancy(); }
 
+    void saveState(StateWriter &ar) override;
+    void restoreState(StateLoader &ar) override;
+
   private:
     /** One segment's worth of replay work. */
     struct ReplaySegment
@@ -168,7 +194,22 @@ class HierarchicalPrefetcher final : public Prefetcher
         std::size_t cursor = 0;
         /** Metadata read completion time. */
         Cycle readyAt = 0;
+
+        template <class Ar>
+        void
+        serializeState(Ar &ar)
+        {
+            io(ar, regions);
+            ar.value(gateInsts);
+            ar.value(paceStart);
+            ar.value(paceEnd);
+            ar.value(immediate);
+            ar.value(cursor);
+            ar.value(readyAt);
+        }
     };
+
+    template <class Ar> void serializeState(Ar &ar);
 
     void bundleBoundary(const DynInst &inst, Cycle now);
     void endRecord(Cycle now);

@@ -1,5 +1,7 @@
 #include "core/metadata_buffer.hh"
 
+#include "util/serialize.hh"
+
 #include "util/logging.hh"
 
 namespace hp
@@ -40,5 +42,18 @@ MetadataBuffer::pointerBits() const
         ++bits;
     return bits;
 }
+
+template <class Ar>
+void
+MetadataBuffer::serializeState(Ar &ar)
+{
+    if (!checkShape(ar, segments_))
+        return;
+    io(ar, segments_);
+    io(ar, cursor_);
+}
+
+template void MetadataBuffer::serializeState(StateWriter &);
+template void MetadataBuffer::serializeState(StateLoader &);
 
 } // namespace hp

@@ -61,6 +61,18 @@ struct Segment
     std::vector<SpatialRegion> regions;
 
     bool full() const { return regions.size() >= kRegionsPerSegment; }
+
+    template <class Ar>
+    void
+    serializeState(Ar &ar)
+    {
+        ar.value(owner);
+        ar.value(headOfBundle);
+        ar.value(live);
+        ar.value(next);
+        ar.value(numInsts);
+        io(ar, regions);
+    }
 };
 
 /**
@@ -99,6 +111,9 @@ class MetadataBuffer
 
     /** Bits needed to index a segment (the table pointer width). */
     unsigned pointerBits() const;
+
+    /** Serializes/restores segments and the circular cursor. */
+    template <class Ar> void serializeState(Ar &ar);
 
   private:
     std::vector<Segment> segments_;

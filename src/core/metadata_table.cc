@@ -1,5 +1,7 @@
 #include "core/metadata_table.hh"
 
+#include "util/serialize.hh"
+
 #include "util/logging.hh"
 
 namespace hp
@@ -86,5 +88,18 @@ MetadataAddressTable::occupancy() const
         live += way.valid ? 1 : 0;
     return live;
 }
+
+template <class Ar>
+void
+MetadataAddressTable::serializeState(Ar &ar)
+{
+    if (!checkShape(ar, ways_storage_))
+        return;
+    io(ar, useClock_);
+    io(ar, ways_storage_);
+}
+
+template void MetadataAddressTable::serializeState(StateWriter &);
+template void MetadataAddressTable::serializeState(StateLoader &);
 
 } // namespace hp

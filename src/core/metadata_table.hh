@@ -63,6 +63,9 @@ class MetadataAddressTable
     /** Resident valid entries (diagnostics). */
     std::size_t occupancy() const;
 
+    /** Serializes/restores table contents (checkpointing). */
+    template <class Ar> void serializeState(Ar &ar);
+
   private:
     struct Way
     {
@@ -70,6 +73,16 @@ class MetadataAddressTable
         std::uint32_t tag = 0;
         SegIdx head = kNoSeg;
         std::uint64_t lastUse = 0;
+
+        template <class Ar>
+        void
+        serializeState(Ar &ar)
+        {
+            ar.value(valid);
+            ar.value(tag);
+            ar.value(head);
+            ar.value(lastUse);
+        }
     };
 
     unsigned setIndex(BundleId id) const { return id & (numSets_ - 1); }

@@ -53,6 +53,14 @@ struct SpatialRegion
     /** Number of touched blocks. */
     unsigned count() const { return __builtin_popcount(bits); }
 
+    template <class Ar>
+    void
+    serializeState(Ar &ar)
+    {
+        ar.value(base);
+        ar.value(bits);
+    }
+
     /** Address of the i-th block in the window. */
     Addr
     blockAt(unsigned i) const

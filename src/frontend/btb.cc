@@ -2,6 +2,7 @@
 
 #include "util/hash.hh"
 #include "util/logging.hh"
+#include "util/serialize.hh"
 
 namespace hp
 {
@@ -75,5 +76,21 @@ Btb::update(Addr pc, Addr target)
     victim->target = target;
     victim->lastUse = ++useClock_;
 }
+
+template <class Ar>
+void
+Btb::serializeState(Ar &ar)
+{
+    if (!checkShape(ar, table_))
+        return;
+    io(ar, useClock_);
+    io(ar, table_);
+    io(ar, infTable_);
+    io(ar, lookups_);
+    io(ar, misses_);
+}
+
+template void Btb::serializeState(StateWriter &);
+template void Btb::serializeState(StateLoader &);
 
 } // namespace hp

@@ -43,6 +43,9 @@ class Btb
     std::uint64_t lookups() const { return lookups_; }
     std::uint64_t misses() const { return misses_; }
 
+    /** Serializes/restores table contents and counters. */
+    template <class Ar> void serializeState(Ar &ar);
+
     /** Registers this BTB's counters under @p prefix. */
     void
     registerStats(StatsRegistry &reg, const std::string &prefix) const
@@ -58,6 +61,16 @@ class Btb
         Addr pc = 0;
         Addr target = 0;
         std::uint64_t lastUse = 0;
+
+        template <class Ar>
+        void
+        serializeState(Ar &ar)
+        {
+            ar.value(valid);
+            ar.value(pc);
+            ar.value(target);
+            ar.value(lastUse);
+        }
     };
 
     unsigned setIndex(Addr pc) const;

@@ -2,6 +2,7 @@
 
 #include "util/hash.hh"
 #include "util/logging.hh"
+#include "util/serialize.hh"
 
 namespace hp
 {
@@ -117,5 +118,23 @@ CondPredictor::update(Addr pc, bool taken)
 
     history_ = (history_ << 1) | (taken ? 1 : 0);
 }
+
+template <class Ar>
+void
+CondPredictor::serializeState(Ar &ar)
+{
+    io(ar, base_);
+    io(ar, tagged_);
+    io(ar, history_);
+    io(ar, providerTable_);
+    io(ar, providerIndex_);
+    io(ar, lastPrediction_);
+    io(ar, lastPc_);
+    io(ar, predictions_);
+    io(ar, mispredicts_);
+}
+
+template void CondPredictor::serializeState(StateWriter &);
+template void CondPredictor::serializeState(StateLoader &);
 
 } // namespace hp

@@ -50,6 +50,9 @@ class CondPredictor
         return predictions_ ? double(mispredicts_) / predictions_ : 0.0;
     }
 
+    /** Serializes/restores tables, history, and counters. */
+    template <class Ar> void serializeState(Ar &ar);
+
     /** Registers this predictor's counters under @p prefix. */
     void
     registerStats(StatsRegistry &reg, const std::string &prefix) const
@@ -66,6 +69,15 @@ class CondPredictor
         std::uint16_t tag = 0;
         std::int8_t counter = 0;
         std::uint8_t useful = 0;
+
+        template <class Ar>
+        void
+        serializeState(Ar &ar)
+        {
+            ar.value(tag);
+            ar.value(counter);
+            ar.value(useful);
+        }
     };
 
     unsigned taggedIndex(unsigned table, Addr pc) const;

@@ -1,6 +1,7 @@
 #include "frontend/indirect_predictor.hh"
 
 #include "util/hash.hh"
+#include "util/serialize.hh"
 #include "util/logging.hh"
 
 namespace hp
@@ -106,5 +107,23 @@ IndirectPredictor::update(Addr pc, Addr target)
 
     pathHistory_ = (pathHistory_ << 4) ^ (mix64(target) & 0xf);
 }
+
+template <class Ar>
+void
+IndirectPredictor::serializeState(Ar &ar)
+{
+    io(ar, base_);
+    io(ar, tagged_);
+    io(ar, pathHistory_);
+    io(ar, providerTable_);
+    io(ar, providerIndex_);
+    io(ar, lastPrediction_);
+    io(ar, lastPc_);
+    io(ar, predictions_);
+    io(ar, mispredicts_);
+}
+
+template void IndirectPredictor::serializeState(StateWriter &);
+template void IndirectPredictor::serializeState(StateLoader &);
 
 } // namespace hp

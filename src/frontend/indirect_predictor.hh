@@ -38,6 +38,9 @@ class IndirectPredictor
     std::uint64_t predictions() const { return predictions_; }
     std::uint64_t mispredicts() const { return mispredicts_; }
 
+    /** Serializes/restores tables, path history, and counters. */
+    template <class Ar> void serializeState(Ar &ar);
+
     /** Registers this predictor's counters under @p prefix. */
     void
     registerStats(StatsRegistry &reg, const std::string &prefix) const
@@ -54,6 +57,15 @@ class IndirectPredictor
         std::uint16_t tag = 0;
         Addr target = 0;
         std::uint8_t confidence = 0;
+
+        template <class Ar>
+        void
+        serializeState(Ar &ar)
+        {
+            ar.value(tag);
+            ar.value(target);
+            ar.value(confidence);
+        }
     };
 
     unsigned indexOf(unsigned table, Addr pc) const;

@@ -41,6 +41,21 @@ class Ras
     std::uint64_t overflows() const { return overflows_; }
     std::uint64_t underflows() const { return underflows_; }
 
+    /** Serializes/restores the stack and counters. */
+    template <class Ar>
+    void
+    serializeState(Ar &ar)
+    {
+        if (!checkShape(ar, stack_))
+            return;
+        for (Addr &a : stack_)
+            ar.value(a);
+        ar.value(topIdx_);
+        ar.value(size_);
+        ar.value(overflows_);
+        ar.value(underflows_);
+    }
+
     /** Registers this stack's counters under @p prefix. */
     void
     registerStats(StatsRegistry &reg, const std::string &prefix) const

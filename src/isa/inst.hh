@@ -92,6 +92,20 @@ struct DynInst
 
     StreamMarker marker = StreamMarker::None;
 
+    template <class Ar>
+    void
+    serializeState(Ar &ar)
+    {
+        ar.value(pc);
+        ar.value(target);
+        ar.value(func);
+        ar.value(markerArg);
+        ar.value(kind);
+        ar.value(taken);
+        ar.value(tagged);
+        ar.value(marker);
+    }
+
     /** Address of the next sequential instruction. */
     Addr nextPc() const { return pc + kInstBytes; }
 

@@ -207,4 +207,31 @@ EFetch::onCommit(const DynInst &inst, Cycle now)
     }
 }
 
+template <class Ar>
+void
+EFetch::serializeState(Ar &ar)
+{
+    io(ar, table_);
+    io(ar, callStack_);
+    io(ar, funcStack_);
+    io(ar, footprints_);
+    io(ar, footprintFifo_);
+    io(ar, lastSignature_);
+    io(ar, haveLastSignature_);
+}
+
+void
+EFetch::saveState(StateWriter &ar)
+{
+    Prefetcher::saveState(ar);
+    serializeState(ar);
+}
+
+void
+EFetch::restoreState(StateLoader &ar)
+{
+    Prefetcher::restoreState(ar);
+    serializeState(ar);
+}
+
 } // namespace hp

@@ -58,11 +58,22 @@ class EFetch final : public Prefetcher
 
     void onCommit(const DynInst &inst, Cycle now) override;
 
+    void saveState(StateWriter &ar) override;
+    void restoreState(StateLoader &ar) override;
+
   private:
     struct CalleeSlot
     {
         Addr callee = 0;
         std::uint8_t confidence = 0;
+
+        template <class Ar>
+        void
+        serializeState(Ar &ar)
+        {
+            ar.value(callee);
+            ar.value(confidence);
+        }
     };
 
     struct Entry
@@ -70,6 +81,15 @@ class EFetch final : public Prefetcher
         bool valid = false;
         std::uint64_t tag = 0;
         std::vector<CalleeSlot> callees;
+
+        template <class Ar>
+        void
+        serializeState(Ar &ar)
+        {
+            ar.value(valid);
+            ar.value(tag);
+            io(ar, callees);
+        }
     };
 
     /** Two 32-block vectors over a callee's first 64 blocks. */
@@ -77,7 +97,17 @@ class EFetch final : public Prefetcher
     {
         std::uint32_t vec0 = 0;
         std::uint32_t vec1 = 0;
+
+        template <class Ar>
+        void
+        serializeState(Ar &ar)
+        {
+            ar.value(vec0);
+            ar.value(vec1);
+        }
     };
+
+    template <class Ar> void serializeState(Ar &ar);
 
     std::uint64_t currentSignature() const;
     Entry &entryFor(std::uint64_t sig);

@@ -143,4 +143,27 @@ Eip::onFdipPrefetch(Addr block, Cycle now)
     observeFetch(block, now);
 }
 
+template <class Ar>
+void
+Eip::serializeState(Ar &ar)
+{
+    io(ar, table_);
+    io(ar, useClock_);
+    io(ar, history_);
+}
+
+void
+Eip::saveState(StateWriter &ar)
+{
+    Prefetcher::saveState(ar);
+    serializeState(ar);
+}
+
+void
+Eip::restoreState(StateLoader &ar)
+{
+    Prefetcher::restoreState(ar);
+    serializeState(ar);
+}
+
 } // namespace hp

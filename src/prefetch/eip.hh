@@ -62,11 +62,22 @@ class Eip final : public Prefetcher
 
     void onFdipPrefetch(Addr block, Cycle now) override;
 
+    void saveState(StateWriter &ar) override;
+    void restoreState(StateLoader &ar) override;
+
   private:
     struct Target
     {
         Addr block = 0;
         std::uint8_t confidence = 0;
+
+        template <class Ar>
+        void
+        serializeState(Ar &ar)
+        {
+            ar.value(block);
+            ar.value(confidence);
+        }
     };
 
     struct Entry
@@ -75,7 +86,19 @@ class Eip final : public Prefetcher
         Addr source = 0;
         std::uint64_t lastUse = 0;
         std::vector<Target> targets;
+
+        template <class Ar>
+        void
+        serializeState(Ar &ar)
+        {
+            ar.value(valid);
+            ar.value(source);
+            ar.value(lastUse);
+            io(ar, targets);
+        }
     };
+
+    template <class Ar> void serializeState(Ar &ar);
 
     void observeFetch(Addr block, Cycle now);
     void entangle(Addr source, Addr target);

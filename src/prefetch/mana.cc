@@ -134,4 +134,34 @@ Mana::onDemandAccess(Addr block, bool hit, Cycle now, Cycle fill_latency)
     followStream(block);
 }
 
+template <class Ar>
+void
+Mana::serializeState(Ar &ar)
+{
+    open_.serializeState(ar);
+    io(ar, openValid_);
+    io(ar, history_);
+    io(ar, historyHead_);
+    io(ar, historyCount_);
+    io(ar, index_);
+    io(ar, streamPos_);
+    io(ar, streaming_);
+    io(ar, issuedUpTo_);
+    io(ar, divergences_);
+}
+
+void
+Mana::saveState(StateWriter &ar)
+{
+    Prefetcher::saveState(ar);
+    serializeState(ar);
+}
+
+void
+Mana::restoreState(StateLoader &ar)
+{
+    Prefetcher::restoreState(ar);
+    serializeState(ar);
+}
+
 } // namespace hp

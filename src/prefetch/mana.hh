@@ -53,6 +53,9 @@ class Mana final : public Prefetcher
     void onDemandAccess(Addr block, bool hit, Cycle now,
                         Cycle fill_latency) override;
 
+    void saveState(StateWriter &ar) override;
+    void restoreState(StateLoader &ar) override;
+
     /** Stream divergences observed (re-index events). */
     std::uint64_t divergences() const { return divergences_; }
 
@@ -77,7 +80,17 @@ class Mana final : public Prefetcher
             return block >= base &&
                    block < base + Addr(region_blocks) * kBlockBytes;
         }
+
+        template <class Ar>
+        void
+        serializeState(Ar &ar)
+        {
+            ar.value(base);
+            ar.value(bits);
+        }
     };
+
+    template <class Ar> void serializeState(Ar &ar);
 
     void recordAccess(Addr block);
     void closeOpenRegion();

@@ -19,6 +19,7 @@
 #include "isa/inst.hh"
 #include "stats/registry.hh"
 #include "util/ring_buffer.hh"
+#include "util/serialize.hh"
 #include "util/types.hh"
 
 namespace hp
@@ -128,6 +129,14 @@ class Prefetcher
 
     std::size_t queueDepth() const { return queue_.size(); }
 
+    /**
+     * Serializes/restores prefetcher state for checkpointing. The
+     * base handles the shared request queue and its counters;
+     * overrides serialize their own tables after calling the base.
+     */
+    virtual void saveState(StateWriter &ar) { serializeQueue(ar); }
+    virtual void restoreState(StateLoader &ar) { serializeQueue(ar); }
+
   protected:
     /** Enqueues a block-aligned prefetch request. */
     void
@@ -147,6 +156,16 @@ class Prefetcher
     std::size_t maxQueue() const { return maxQueue_; }
 
   private:
+    template <class Ar>
+    void
+    serializeQueue(Ar &ar)
+    {
+        io(ar, queue_);
+        io(ar, pushed_);
+        io(ar, popped_);
+        io(ar, droppedFull_);
+    }
+
     std::size_t maxQueue_ = 512;
     /** FIFO request queue; a ring keeps the pop/push path pointer-
      *  chase free (the deque paid a double indirection per access). */

@@ -105,4 +105,28 @@ Rdip::onDemandAccess(Addr block, bool hit, Cycle now,
     }
 }
 
+template <class Ar>
+void
+Rdip::serializeState(Ar &ar)
+{
+    io(ar, table_);
+    io(ar, ras_);
+    io(ar, activeSignature_);
+    io(ar, haveSignature_);
+}
+
+void
+Rdip::saveState(StateWriter &ar)
+{
+    Prefetcher::saveState(ar);
+    serializeState(ar);
+}
+
+void
+Rdip::restoreState(StateLoader &ar)
+{
+    Prefetcher::restoreState(ar);
+    serializeState(ar);
+}
+
 } // namespace hp

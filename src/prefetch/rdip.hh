@@ -53,6 +53,9 @@ class Rdip final : public Prefetcher
     void onDemandAccess(Addr block, bool hit, Cycle now,
                         Cycle fill_latency) override;
 
+    void saveState(StateWriter &ar) override;
+    void restoreState(StateLoader &ar) override;
+
   private:
     struct Entry
     {
@@ -60,7 +63,19 @@ class Rdip final : public Prefetcher
         std::uint64_t tag = 0;
         std::vector<Addr> blocks;
         std::size_t fifoPos = 0;
+
+        template <class Ar>
+        void
+        serializeState(Ar &ar)
+        {
+            ar.value(valid);
+            ar.value(tag);
+            io(ar, blocks);
+            ar.value(fifoPos);
+        }
     };
+
+    template <class Ar> void serializeState(Ar &ar);
 
     std::uint64_t currentSignature() const;
     Entry &entryFor(std::uint64_t sig);

@@ -1,0 +1,340 @@
+#include "sim/checkpoint.hh"
+
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "sim/runner.hh"
+#include "sim/simulator.hh"
+#include "util/logging.hh"
+#include "util/serialize.hh"
+
+namespace hp
+{
+
+namespace
+{
+
+/** Eight-byte magic leading every checkpoint file image. */
+constexpr char kMagic[8] = {'H', 'P', 'C', 'K', 'P', 'T', '0', '\n'};
+
+std::string
+hexHash(std::uint64_t hash)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[i] = digits[hash & 0xf];
+        hash >>= 4;
+    }
+    return out;
+}
+
+} // namespace
+
+SimConfig
+warmupConfig(const SimConfig &config)
+{
+    SimConfig w = measurementConfig(config);
+    // Read only at or after the warmup boundary: measureInsts enters
+    // the loop bound (the boundary is reached the moment committed_
+    // crosses warmupInsts regardless of the total), and
+    // longRangePercentile is read by beginMeasurement().
+    w.measureInsts = SimConfig{}.measureInsts;
+    w.longRangePercentile = SimConfig{}.longRangePercentile;
+    return w;
+}
+
+Checkpoint
+Checkpoint::capture(Simulator &sim, std::string warmup_key)
+{
+    StateWriter writer;
+    sim.serializeState(writer);
+    return Checkpoint(std::move(warmup_key), writer.take());
+}
+
+bool
+Checkpoint::restoreInto(Simulator &sim, std::string *error) const
+{
+    StateLoader loader(payload_.data(), payload_.size());
+    sim.serializeState(loader);
+    if (loader.failed()) {
+        if (error)
+            *error = "checkpoint payload truncated";
+        return false;
+    }
+    if (loader.remaining() != 0) {
+        if (error)
+            *error = "checkpoint payload has trailing bytes "
+                     "(config/state mismatch)";
+        return false;
+    }
+    return true;
+}
+
+std::vector<std::uint8_t>
+Checkpoint::encode() const
+{
+    StateWriter writer;
+    writer.bytes(kMagic, sizeof(kMagic));
+    writer.value(kCheckpointFormatVersion);
+    std::uint64_t key_size = warmupKey_.size();
+    writer.value(key_size);
+    writer.bytes(warmupKey_.data(), warmupKey_.size());
+    std::uint64_t payload_size = payload_.size();
+    writer.value(payload_size);
+    writer.bytes(payload_.data(), payload_.size());
+    return writer.take();
+}
+
+std::shared_ptr<const Checkpoint>
+Checkpoint::decode(const std::vector<std::uint8_t> &bytes,
+                   std::string *error)
+{
+    StateLoader loader(bytes.data(), bytes.size());
+    char magic[sizeof(kMagic)] = {};
+    loader.bytes(magic, sizeof(magic));
+    if (loader.failed() ||
+        std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+        if (error)
+            *error = "not a checkpoint blob (bad magic)";
+        return nullptr;
+    }
+
+    std::uint32_t version = 0;
+    loader.value(version);
+    if (loader.failed() || version != kCheckpointFormatVersion) {
+        if (error)
+            *error = "checkpoint format version " +
+                     std::to_string(version) + ", this build expects " +
+                     std::to_string(kCheckpointFormatVersion);
+        return nullptr;
+    }
+
+    std::string key;
+    std::uint64_t key_size = 0;
+    loader.value(key_size);
+    if (!loader.failed() && key_size <= loader.remaining()) {
+        key.resize(key_size);
+        loader.bytes(key.data(), key_size);
+    } else {
+        if (error)
+            *error = "checkpoint header truncated";
+        return nullptr;
+    }
+
+    std::uint64_t payload_size = 0;
+    loader.value(payload_size);
+    if (loader.failed() || payload_size != loader.remaining()) {
+        if (error)
+            *error = "checkpoint payload length mismatch";
+        return nullptr;
+    }
+    std::vector<std::uint8_t> payload(payload_size);
+    loader.bytes(payload.data(), payload_size);
+    return std::make_shared<const Checkpoint>(std::move(key),
+                                              std::move(payload));
+}
+
+CheckpointStore::Acquire
+CheckpointStore::acquire(const SimConfig &warmup_config)
+{
+    const std::uint64_t hash = configHash(warmup_config);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::unique_ptr<Slot>> &bucket = slots_[hash];
+    for (const std::unique_ptr<Slot> &slot : bucket) {
+        if (slot->config == warmup_config)
+            return Acquire{slot->future, false};
+    }
+
+    auto slot = std::make_unique<Slot>();
+    slot->config = warmup_config;
+    slot->future = slot->promise.get_future().share();
+    Acquire acquire{slot->future, true};
+    bucket.push_back(std::move(slot));
+    return acquire;
+}
+
+void
+CheckpointStore::publish(const SimConfig &warmup_config,
+                         CheckpointPtr ckpt)
+{
+    const std::uint64_t hash = configHash(warmup_config);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::unique_ptr<Slot> &slot : slots_[hash]) {
+        if (slot->config != warmup_config || slot->published)
+            continue;
+        slot->promise.set_value(std::move(ckpt));
+        slot->published = true;
+        return;
+    }
+}
+
+std::size_t
+CheckpointStore::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t n = 0;
+    for (const auto &bucket : slots_)
+        n += bucket.second.size();
+    return n;
+}
+
+CheckpointStore &
+CheckpointStore::global()
+{
+    static CheckpointStore store;
+    return store;
+}
+
+std::string
+checkpointDir()
+{
+    const char *dir = std::getenv("HP_CKPT_DIR");
+    return dir ? std::string(dir) : std::string();
+}
+
+std::string
+checkpointFileName(const SimConfig &warmup_config)
+{
+    return warmup_config.workload + "-" +
+           hexHash(configHash(warmup_config)) + ".ckpt";
+}
+
+bool
+saveCheckpointFile(const std::string &dir,
+                   const std::string &file_name, const Checkpoint &ckpt)
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+
+    const fs::path target = fs::path(dir) / file_name;
+    // Unique temp name per process so concurrent sweeps can't observe
+    // (or clobber) a half-written file; rename is atomic within dir.
+    const fs::path tmp =
+        target.string() + ".tmp." + hexHash(std::uint64_t(
+            reinterpret_cast<std::uintptr_t>(&ckpt)));
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            return false;
+        const std::vector<std::uint8_t> image = ckpt.encode();
+        out.write(reinterpret_cast<const char *>(image.data()),
+                  std::streamsize(image.size()));
+        if (!out) {
+            out.close();
+            fs::remove(tmp, ec);
+            return false;
+        }
+    }
+    fs::rename(tmp, target, ec);
+    if (ec) {
+        fs::remove(tmp, ec);
+        return false;
+    }
+    return true;
+}
+
+std::shared_ptr<const Checkpoint>
+loadCheckpointFile(const std::string &path,
+                   const std::string &expected_key, std::string *error)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        if (error)
+            *error = "cannot open " + path;
+        return nullptr;
+    }
+    std::vector<std::uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    std::shared_ptr<const Checkpoint> ckpt =
+        Checkpoint::decode(bytes, error);
+    if (!ckpt)
+        return nullptr;
+    if (ckpt->warmupKey() != expected_key) {
+        if (error)
+            *error = path + " was produced by a different warmup "
+                            "config (key mismatch)";
+        return nullptr;
+    }
+    return ckpt;
+}
+
+bool
+checkpointingEnabled(const SimConfig &config)
+{
+    if (config.warmupInsts == 0)
+        return false;
+    const char *env = std::getenv("HP_CKPT");
+    return env == nullptr || std::strcmp(env, "0") != 0;
+}
+
+SimMetrics
+runCheckpointed(const SimConfig &config)
+{
+    if (!checkpointingEnabled(config)) {
+        Simulator sim(config);
+        return sim.run();
+    }
+
+    const SimConfig wcfg = warmupConfig(config);
+    CheckpointStore &store = CheckpointStore::global();
+    CheckpointStore::Acquire acq = store.acquire(wcfg);
+
+    if (acq.owner) {
+        const std::string key = ExperimentRunner::configKey(wcfg);
+        const std::string dir = checkpointDir();
+
+        // Cross-process reuse: a prior run may have spilled this class.
+        if (!dir.empty()) {
+            std::string error;
+            std::shared_ptr<const Checkpoint> ckpt = loadCheckpointFile(
+                (std::filesystem::path(dir) / checkpointFileName(wcfg))
+                    .string(),
+                key, &error);
+            if (ckpt) {
+                Simulator sim(config);
+                if (ckpt->restoreInto(sim, &error)) {
+                    store.publish(wcfg, ckpt);
+                    return sim.finishRun();
+                }
+                warn("ignoring unusable checkpoint: " + error);
+            }
+        }
+
+        // Produce the class checkpoint with this config's own warmup;
+        // the producer continues directly, paying no restore cost.
+        Simulator sim(config);
+        std::shared_ptr<const Checkpoint> fresh;
+        try {
+            sim.runWarmup();
+            fresh = std::make_shared<const Checkpoint>(
+                Checkpoint::capture(sim, key));
+        } catch (...) {
+            store.publish(wcfg, nullptr);
+            throw;
+        }
+        store.publish(wcfg, fresh);
+        if (!dir.empty())
+            saveCheckpointFile(dir, checkpointFileName(wcfg), *fresh);
+        return sim.finishRun();
+    }
+
+    std::shared_ptr<const Checkpoint> ckpt = acq.future.get();
+    if (ckpt) {
+        Simulator sim(config);
+        std::string error;
+        if (ckpt->restoreInto(sim, &error))
+            return sim.finishRun();
+        warn("checkpoint restore failed (" + error + "); running cold");
+    }
+    Simulator cold(config);
+    return cold.run();
+}
+
+} // namespace hp

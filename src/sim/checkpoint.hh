@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Warmup checkpointing: capture the complete post-warmup
+ * microarchitectural state of a Simulator once per *warmup
+ * equivalence class* and fork every matching measurement run from it
+ * instead of re-simulating the warmup phase.
+ *
+ * Two configs belong to the same class when warmupConfig() — the
+ * config with every warmup-irrelevant field pinned to a fixed value —
+ * compares equal. The CheckpointStore dedups in-flight warmups with
+ * the same future-based scheme as the runner's result cache, so
+ * concurrent grid points block on the one warmup instead of racing.
+ * With HP_CKPT_DIR set, checkpoints are also spilled to disk and
+ * reused across processes (see DESIGN.md §8 for the blob format).
+ *
+ * Correctness bar: a restored run must be bit-identical to a cold
+ * run — enforced by tests/sim/checkpoint_replay_test and the
+ * checkpoint_equivalence bench.
+ */
+
+#ifndef HP_SIM_CHECKPOINT_HH
+#define HP_SIM_CHECKPOINT_HH
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/metrics.hh"
+
+namespace hp
+{
+
+class Simulator;
+
+/**
+ * Version of the checkpoint blob encoding. Bump whenever any
+ * component's serializeState layout changes — a version mismatch
+ * rejects the blob instead of misinterpreting it.
+ */
+constexpr std::uint32_t kCheckpointFormatVersion = 1;
+
+/**
+ * The warmup-equivalence twin of @p config: every field the warmup
+ * phase never reads is pinned to a fixed value. Builds on
+ * measurementConfig() (fields unread by the configured prefetcher)
+ * and additionally pins measureInsts and longRangePercentile, which
+ * are only read at or after the warmup boundary.
+ */
+SimConfig warmupConfig(const SimConfig &config);
+
+/**
+ * An immutable post-warmup state blob plus the warmup-config key that
+ * produced it. The payload is the canonical StateWriter stream of
+ * Simulator::serializeState at the warmup boundary.
+ */
+class Checkpoint
+{
+  public:
+    Checkpoint(std::string warmup_key,
+               std::vector<std::uint8_t> payload)
+        : warmupKey_(std::move(warmup_key)), payload_(std::move(payload))
+    {
+    }
+
+    /** Serializes @p sim (stopped at the warmup boundary). */
+    static Checkpoint capture(Simulator &sim, std::string warmup_key);
+
+    /**
+     * Restores this checkpoint's state into a freshly constructed
+     * @p sim. @return false (with @p error set) if the payload is
+     * truncated or has trailing bytes; @p sim is then unusable.
+     */
+    bool restoreInto(Simulator &sim, std::string *error) const;
+
+    /** Encodes magic + version + key + payload into one file image. */
+    std::vector<std::uint8_t> encode() const;
+
+    /**
+     * Validates and parses a file image. @return nullptr with
+     * @p error set on bad magic, version mismatch, or truncation.
+     */
+    static std::shared_ptr<const Checkpoint>
+    decode(const std::vector<std::uint8_t> &bytes, std::string *error);
+
+    const std::string &warmupKey() const { return warmupKey_; }
+    const std::vector<std::uint8_t> &payload() const { return payload_; }
+
+  private:
+    std::string warmupKey_;
+    std::vector<std::uint8_t> payload_;
+};
+
+/**
+ * Process-wide cache of warmed checkpoints keyed by warmup config,
+ * future-based like the runner's result cache: the first requester of
+ * a class owns producing the checkpoint, every later requester blocks
+ * on the same future.
+ */
+class CheckpointStore
+{
+  public:
+    using CheckpointPtr = std::shared_ptr<const Checkpoint>;
+
+    struct Acquire
+    {
+        std::shared_future<CheckpointPtr> future;
+        /** True if this caller must produce and publish() the blob. */
+        bool owner = false;
+    };
+
+    /** Finds or creates the slot for @p warmup_config's class. */
+    Acquire acquire(const SimConfig &warmup_config);
+
+    /** Fulfills the class's future (owner only; nullptr = failed). */
+    void publish(const SimConfig &warmup_config, CheckpointPtr ckpt);
+
+    /** Number of warmup classes seen (diagnostics/tests). */
+    std::size_t size() const;
+
+    static CheckpointStore &global();
+
+  private:
+    struct Slot
+    {
+        SimConfig config;
+        std::promise<CheckpointPtr> promise;
+        std::shared_future<CheckpointPtr> future;
+        bool published = false;
+    };
+
+    mutable std::mutex mutex_;
+    std::unordered_map<std::uint64_t, std::vector<std::unique_ptr<Slot>>>
+        slots_;
+};
+
+/** HP_CKPT_DIR, or empty when disk spill is disabled. */
+std::string checkpointDir();
+
+/** File name for a class: "<workload>-<warmup-config-hash>.ckpt". */
+std::string checkpointFileName(const SimConfig &warmup_config);
+
+/** Atomically (tmp + rename) writes @p ckpt under @p dir. */
+bool saveCheckpointFile(const std::string &dir,
+                        const std::string &file_name,
+                        const Checkpoint &ckpt);
+
+/**
+ * Loads and validates a checkpoint file. @return nullptr (with
+ * @p error set) when missing, malformed, version-mismatched, or
+ * keyed for a different warmup config than @p expected_key.
+ */
+std::shared_ptr<const Checkpoint>
+loadCheckpointFile(const std::string &path,
+                   const std::string &expected_key, std::string *error);
+
+/**
+ * True when runCheckpointed() will use the checkpoint path for
+ * @p config: the config has a warmup phase and HP_CKPT is not "0".
+ */
+bool checkpointingEnabled(const SimConfig &config);
+
+/**
+ * Runs @p config to completion, reusing (or creating) the shared
+ * warmup checkpoint of its class. Results are bit-identical to
+ * Simulator(config).run(); any checkpoint problem falls back to a
+ * cold run rather than failing the experiment.
+ */
+SimMetrics runCheckpointed(const SimConfig &config);
+
+} // namespace hp
+
+#endif // HP_SIM_CHECKPOINT_HH

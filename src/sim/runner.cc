@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "sim/checkpoint.hh"
 #include "sim/executor.hh"
 #include "sim/run_report.hh"
 #include "util/hash.hh"
@@ -169,6 +170,46 @@ ExperimentRunner::configKey(const SimConfig &c)
     return key.str();
 }
 
+SimConfig
+measurementConfig(const SimConfig &config)
+{
+    SimConfig m = config;
+    const PrefetcherKind kind = m.prefetcher;
+
+    // Sub-configs of prefetchers other than the one under test are
+    // never read by the simulation.
+    if (kind != PrefetcherKind::EFetch)
+        m.efetch = EFetchConfig{};
+    if (kind != PrefetcherKind::Mana)
+        m.mana = ManaConfig{};
+    if (kind != PrefetcherKind::Eip)
+        m.eip = EipConfig{};
+    if (kind != PrefetcherKind::Rdip)
+        m.rdip = RdipConfig{};
+    if (kind != PrefetcherKind::Hierarchical) {
+        m.hier = HierarchicalConfig{};
+        // Metadata DRAM traffic accounting only exists for the
+        // hierarchical prefetcher's off-chip metadata.
+        m.mem.metadataDramEvery = HierarchyParams{}.metadataDramEvery;
+    }
+
+    // Without an Ext prefetcher there is nothing the ext knobs gate.
+    if (kind == PrefetcherKind::None || kind == PrefetcherKind::PerfectL1I) {
+        m.extPrefetchToL2 = false;
+        m.extPrefetchesPerCycle = SimConfig{}.extPrefetchesPerCycle;
+    }
+
+    // A perfect L1-I never consults the hierarchy or the reuse probe.
+    if (kind == PrefetcherKind::PerfectL1I) {
+        m.mem = HierarchyParams{};
+        m.trackReuse = false;
+        m.longRangePercentile = SimConfig{}.longRangePercentile;
+    }
+    if (!m.trackReuse)
+        m.longRangePercentile = SimConfig{}.longRangePercentile;
+    return m;
+}
+
 namespace detail
 {
 
@@ -176,25 +217,28 @@ std::shared_future<SimMetrics>
 acquireSimulation(const SimConfig &config,
                   std::packaged_task<SimMetrics()> *task)
 {
-    const std::uint64_t hash = configHash(config);
+    // Dedup on the normalized config so grid points differing only in
+    // fields this simulation never reads share one run. The full
+    // original config still reaches the simulation and the report log.
+    const SimConfig mcfg = measurementConfig(config);
+    const std::uint64_t hash = configHash(mcfg);
 
     std::lock_guard<std::mutex> lock(g_mutex);
     std::vector<CacheSlot> &bucket = g_cache[hash];
     for (const CacheSlot &slot : bucket) {
-        if (slot.config == config)
+        if (slot.config == mcfg)
             return slot.future;
     }
 
-    // First request for this config: this caller runs the simulation.
+    // First request for this class: this caller runs the simulation.
     std::packaged_task<SimMetrics()> sim([config] {
-        Simulator sim(config);
-        SimMetrics metrics = sim.run();
+        SimMetrics metrics = runCheckpointed(config);
         g_runs.fetch_add(1, std::memory_order_relaxed);
         RunReportLog::record(config, metrics);
         return metrics;
     });
     std::shared_future<SimMetrics> future = sim.get_future().share();
-    bucket.push_back(CacheSlot{config, future});
+    bucket.push_back(CacheSlot{mcfg, future});
     *task = std::move(sim);
     return future;
 }

@@ -32,6 +32,16 @@ struct RunPair
 /** The FDIP-only twin of @p config (the baseline of every pair). */
 SimConfig fdipBaseline(const SimConfig &config);
 
+/**
+ * The measurement-equivalence twin of @p config: every field the
+ * simulation never reads under this config's prefetcher kind is
+ * pinned to its default. Two configs with equal measurementConfig()
+ * produce bit-identical SimMetrics, so the experiment cache dedups on
+ * it — a sweep over, say, eip.lookahead no longer re-simulates the
+ * None/Hierarchical points that never read that knob.
+ */
+SimConfig measurementConfig(const SimConfig &config);
+
 /** Assembles a RunPair from two finished runs. */
 RunPair makeRunPair(SimMetrics run, SimMetrics base);
 

@@ -4,6 +4,7 @@
 
 #include "util/hash.hh"
 #include "util/logging.hh"
+#include "util/serialize.hh"
 
 namespace hp
 {
@@ -397,33 +398,66 @@ Simulator::beginMeasurement()
             cfg_.longRangePercentile);
 }
 
+void
+Simulator::stepCycle(bool has_pf)
+{
+    hier_.tick(cycle_);
+    stepPredict();
+    if (has_pf)
+        stepExtPrefetch();
+    stepFetch();
+    // BTB-miss resume.
+    if (feBlock_ == FeBlock::BtbMiss && feResumeScheduled_ &&
+        cycle_ >= feResumeAt_) {
+        const DynInst &inst = at(feBlockSeq_).inst;
+        btb_.update(inst.pc, inst.target);
+        feBlock_ = FeBlock::None;
+    }
+    stepCommit();
+}
+
+void
+Simulator::runWarmup()
+{
+    panicIf(measuring_, "runWarmup() after measurement began");
+    const std::uint64_t total = cfg_.warmupInsts + cfg_.measureInsts;
+    const bool has_pf = pf_ != nullptr;
+
+    // Stop inside the boundary iteration: after the commit step that
+    // crossed warmupInsts, before beginMeasurement() and the trailing
+    // cycle advance — exactly where a cold run would switch phases.
+    // With a zero-instruction total the loop never runs and
+    // finishRun() handles the degenerate boundary.
+    while (committed_ < total) {
+        stepCycle(has_pf);
+        if (committed_ >= cfg_.warmupInsts)
+            return;
+        ++cycle_;
+    }
+}
+
 SimMetrics
 Simulator::run()
+{
+    runWarmup();
+    return finishRun();
+}
+
+SimMetrics
+Simulator::finishRun()
 {
     const std::uint64_t total = cfg_.warmupInsts + cfg_.measureInsts;
     const bool has_pf = pf_ != nullptr;
 
-    while (committed_ < total) {
-        hier_.tick(cycle_);
-        stepPredict();
-        if (has_pf)
-            stepExtPrefetch();
-        stepFetch();
-        // BTB-miss resume.
-        if (feBlock_ == FeBlock::BtbMiss && feResumeScheduled_ &&
-            cycle_ >= feResumeAt_) {
-            const DynInst &inst = at(feBlockSeq_).inst;
-            btb_.update(inst.pc, inst.target);
-            feBlock_ = FeBlock::None;
-        }
-        stepCommit();
-
-        if (!measuring_ && committed_ >= cfg_.warmupInsts)
-            beginMeasurement();
+    beginMeasurement();
+    if (total > 0) {
+        // Complete the boundary iteration, then run measurement.
         ++cycle_;
+        while (committed_ < total) {
+            stepCycle(has_pf);
+            ++cycle_;
+        }
     }
-    if (!measuring_) // degenerate zero-instruction configs
-        beginMeasurement();
 
     // Measurement phase = end-of-run snapshot minus the warmup one;
     // every scalar SimMetrics field derives from this single delta.
@@ -459,5 +493,44 @@ Simulator::run()
     metrics_.stats = std::move(delta);
     return metrics_;
 }
+
+template <class Ar>
+void
+Simulator::serializeState(Ar &ar)
+{
+    io(ar, cycle_);
+    io(ar, window_);
+    io(ar, windowBase_);
+    io(ar, bpSeq_);
+    io(ar, fetchSeq_);
+    io(ar, ftq_);
+    io(ar, feBlock_);
+    io(ar, feBlockSeq_);
+    io(ar, feResumeAt_);
+    io(ar, feResumeScheduled_);
+    io(ar, fetchStalledUntil_);
+    io(ar, commitBlockedUntil_);
+    io(ar, committed_);
+    io(ar, rasMispredicts_);
+    hier_.serializeState(ar);
+    btb_.serializeState(ar);
+    condPred_.serializeState(ar);
+    indirectPred_.serializeState(ar);
+    ras_.serializeState(ar);
+    engine_->serializeState(ar);
+    if (pf_) {
+        if constexpr (Ar::loading)
+            pf_->restoreState(ar);
+        else
+            pf_->saveState(ar);
+    }
+    if (cfg_.trackReuse) {
+        reuse_.serializeState(ar);
+        reuseHist_->serializeState(ar);
+    }
+}
+
+template void Simulator::serializeState(StateWriter &);
+template void Simulator::serializeState(StateLoader &);
 
 } // namespace hp

@@ -47,9 +47,35 @@ class Simulator
 
     /**
      * Runs warmup + measurement and returns the measured metrics.
-     * A Simulator instance is single-use.
+     * A Simulator instance is single-use. Equivalent to runWarmup()
+     * followed by finishRun().
      */
     SimMetrics run();
+
+    /**
+     * Runs the warmup phase only, stopping at the exact measurement
+     * boundary: after the commit that crossed warmupInsts, before
+     * beginMeasurement() and the boundary iteration's cycle advance.
+     * The stopped state is what Checkpoint::capture serializes.
+     */
+    void runWarmup();
+
+    /**
+     * Runs the measurement phase from the warmup boundary and returns
+     * the metrics. Valid after runWarmup() on this instance or after
+     * a checkpoint restore into a freshly constructed instance; both
+     * produce bit-identical results to a plain run().
+     */
+    SimMetrics finishRun();
+
+    /**
+     * Serializes (StateWriter) or restores (StateLoader) the complete
+     * microarchitectural state at the warmup boundary: caches, I-TLB,
+     * BTB, predictors, RAS, request engine, prefetcher, and the
+     * FTQ/window front-end state. Restore mutates components in place
+     * — the stats registry holds reader closures over their fields.
+     */
+    template <class Ar> void serializeState(Ar &ar);
 
     /** The built application (for inspection by examples/tests). */
     const BuiltApp &app() const { return *app_; }
@@ -71,6 +97,14 @@ class Simulator
         Cycle fetchCycle = kNotFetched;
 
         static constexpr Cycle kNotFetched = ~Cycle(0);
+
+        template <class Ar>
+        void
+        serializeState(Ar &ar)
+        {
+            inst.serializeState(ar);
+            ar.value(fetchCycle);
+        }
     };
 
     struct FtqEntry
@@ -80,6 +114,17 @@ class Simulator
         std::uint64_t endSeq = 0; // exclusive
         bool translated = false;
         bool accessed = false;
+
+        template <class Ar>
+        void
+        serializeState(Ar &ar)
+        {
+            ar.value(block);
+            ar.value(startSeq);
+            ar.value(endSeq);
+            ar.value(translated);
+            ar.value(accessed);
+        }
     };
 
     enum class FeBlock : std::uint8_t
@@ -113,6 +158,9 @@ class Simulator
     void stepFetch();
     void stepCommit();
     void beginMeasurement();
+
+    /** One iteration of the main loop (every per-cycle step). */
+    void stepCycle(bool has_pf);
 
     /** Registers every component's counters (constructor helper). */
     void registerStats();

@@ -26,6 +26,17 @@ class Accumulator
 
     void reset();
 
+    /** Serializes/restores the accumulated samples. */
+    template <class Ar>
+    void
+    serializeState(Ar &ar)
+    {
+        ar.value(count_);
+        ar.value(sum_);
+        ar.value(min_);
+        ar.value(max_);
+    }
+
   private:
     std::uint64_t count_ = 0;
     double sum_ = 0.0;
@@ -57,6 +68,21 @@ class Histogram
     double percentile(double q) const;
 
     void reset();
+
+    /** Serializes/restores bucket populations (width is config). */
+    template <class Ar>
+    void
+    serializeState(Ar &ar)
+    {
+        std::uint64_t n = buckets_.size();
+        ar.value(n);
+        if constexpr (Ar::loading)
+            buckets_.assign(n, 0);
+        for (std::uint64_t &b : buckets_)
+            ar.value(b);
+        ar.value(count_);
+        ar.value(sum_);
+    }
 
   private:
     double bucketWidth_;

@@ -48,6 +48,15 @@ class Rng
     /** Derives an independent child generator (for nested builders). */
     Rng fork();
 
+    /** Serializes/restores the generator state (checkpointing). */
+    template <class Ar>
+    void
+    serializeState(Ar &ar)
+    {
+        for (std::uint64_t &s : s_)
+            ar.value(s);
+    }
+
   private:
     std::uint64_t s_[4];
 };

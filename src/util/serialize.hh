@@ -1,0 +1,387 @@
+/**
+ * @file
+ * Canonical byte-stream archives for checkpointing simulator state.
+ *
+ * A component exposes one `template <class Ar> void serializeState(Ar&)`
+ * that lists its mutable fields; the same body runs against a
+ * StateWriter (capture) and a StateLoader (restore), so the two can
+ * never drift apart. The encoding is canonical and padding-free:
+ * scalars are written field by field as fixed-width little-endian
+ * values (never whole-struct memcpy, whose padding bytes would break
+ * byte-identical round-trips), unordered containers are emitted sorted
+ * by key, and ordered containers in iteration order. The result is
+ * that capturing the same microarchitectural state always yields the
+ * same bytes — the property the golden checkpoint test pins down.
+ */
+
+#ifndef HP_UTIL_SERIALIZE_HH
+#define HP_UTIL_SERIALIZE_HH
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <list>
+#include <map>
+#include <string>
+#include <type_traits>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "util/ring_buffer.hh"
+
+namespace hp
+{
+
+/** Serializes state into a growing canonical byte buffer. */
+class StateWriter
+{
+  public:
+    static constexpr bool loading = false;
+
+    template <typename T>
+    void
+    value(const T &v)
+    {
+        static_assert(std::is_arithmetic_v<T> || std::is_enum_v<T>,
+                      "value() takes scalars only; add an io() overload");
+        if constexpr (std::is_same_v<T, bool>) {
+            buf_.push_back(v ? 1 : 0);
+        } else if constexpr (std::is_floating_point_v<T>) {
+            static_assert(sizeof(T) == 8, "only double is supported");
+            std::uint64_t bits = 0;
+            std::memcpy(&bits, &v, sizeof(bits));
+            writeUint(bits, 8);
+        } else if constexpr (std::is_enum_v<T>) {
+            using U = std::underlying_type_t<T>;
+            writeUint(static_cast<std::uint64_t>(
+                          static_cast<std::make_unsigned_t<U>>(
+                              static_cast<U>(v))),
+                      sizeof(U));
+        } else {
+            writeUint(static_cast<std::uint64_t>(
+                          static_cast<std::make_unsigned_t<T>>(v)),
+                      sizeof(T));
+        }
+    }
+
+    void
+    bytes(const void *data, std::size_t n)
+    {
+        const auto *p = static_cast<const std::uint8_t *>(data);
+        buf_.insert(buf_.end(), p, p + n);
+    }
+
+    const std::vector<std::uint8_t> &buffer() const { return buf_; }
+    std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+  private:
+    void
+    writeUint(std::uint64_t v, unsigned width)
+    {
+        for (unsigned i = 0; i < width; ++i)
+            buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    std::vector<std::uint8_t> buf_;
+};
+
+/**
+ * Restores state from a byte buffer produced by StateWriter.
+ *
+ * A truncated stream is reported through fail() rather than read out
+ * of bounds; the caller (Checkpoint::restoreInto) turns a failed load
+ * into a hard error with context. Reads past the end return zeros.
+ */
+class StateLoader
+{
+  public:
+    static constexpr bool loading = true;
+
+    StateLoader(const std::uint8_t *data, std::size_t size)
+        : data_(data), size_(size)
+    {
+    }
+
+    template <typename T>
+    void
+    value(T &v)
+    {
+        static_assert(std::is_arithmetic_v<T> || std::is_enum_v<T>,
+                      "value() takes scalars only; add an io() overload");
+        if constexpr (std::is_same_v<T, bool>) {
+            std::uint8_t b = 0;
+            bytes(&b, 1);
+            v = b != 0;
+        } else if constexpr (std::is_floating_point_v<T>) {
+            static_assert(sizeof(T) == 8, "only double is supported");
+            const std::uint64_t bits = readUint(8);
+            std::memcpy(&v, &bits, sizeof(v));
+        } else if constexpr (std::is_enum_v<T>) {
+            using U = std::underlying_type_t<T>;
+            v = static_cast<T>(static_cast<U>(readUint(sizeof(U))));
+        } else {
+            v = static_cast<T>(readUint(sizeof(T)));
+        }
+    }
+
+    void
+    bytes(void *out, std::size_t n)
+    {
+        if (size_ - pos_ < n) {
+            failed_ = true;
+            std::memset(out, 0, n);
+            pos_ = size_;
+            return;
+        }
+        std::memcpy(out, data_ + pos_, n);
+        pos_ += n;
+    }
+
+    std::size_t remaining() const { return size_ - pos_; }
+
+    /** True once any read ran past the end of the stream. */
+    bool failed() const { return failed_; }
+
+    /** Marks the stream bad (shape mismatch); stops further reads. */
+    void
+    markFailed()
+    {
+        failed_ = true;
+        pos_ = size_;
+    }
+
+  private:
+    std::uint64_t
+    readUint(unsigned width)
+    {
+        std::uint8_t raw[8] = {};
+        bytes(raw, width);
+        std::uint64_t v = 0;
+        for (unsigned i = 0; i < width; ++i)
+            v |= static_cast<std::uint64_t>(raw[i]) << (8 * i);
+        return v;
+    }
+
+    const std::uint8_t *data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+    bool failed_ = false;
+};
+
+/**
+ * Geometry guard for containers whose size is fixed by configuration
+ * (cache line arrays, BTB ways, MSHR files, ...): records the size on
+ * capture and, on restore, fails the stream when it does not match the
+ * constructed container — a blob captured under a different geometry
+ * must be rejected, never silently reshape the component.
+ * @return false when the load must stop (shape mismatch).
+ */
+template <class Ar, typename C>
+bool
+checkShape(Ar &ar, const C &c)
+{
+    std::uint64_t n = c.size();
+    ar.value(n);
+    if constexpr (Ar::loading) {
+        if (n != c.size()) {
+            ar.markFailed();
+            return false;
+        }
+    }
+    return true;
+}
+
+/** Scalars go through value(); anything else must serializeState. */
+template <class Ar, typename T>
+void
+io(Ar &ar, T &v)
+{
+    if constexpr (std::is_arithmetic_v<T> || std::is_enum_v<T>)
+        ar.value(v);
+    else
+        v.serializeState(ar);
+}
+
+template <class Ar>
+void
+io(Ar &ar, std::string &s)
+{
+    std::uint64_t n = s.size();
+    ar.value(n);
+    if constexpr (Ar::loading)
+        s.resize(n);
+    if (n > 0)
+        ar.bytes(s.data(), n);
+}
+
+template <class Ar, typename T>
+void
+io(Ar &ar, std::vector<T> &v)
+{
+    std::uint64_t n = v.size();
+    ar.value(n);
+    if constexpr (Ar::loading) {
+        v.clear();
+        v.resize(n);
+    }
+    for (auto &e : v)
+        io(ar, e);
+}
+
+template <class Ar, typename T, std::size_t N>
+void
+io(Ar &ar, std::array<T, N> &a)
+{
+    for (auto &e : a)
+        io(ar, e);
+}
+
+template <class Ar, typename T>
+void
+io(Ar &ar, std::deque<T> &d)
+{
+    std::uint64_t n = d.size();
+    ar.value(n);
+    if constexpr (Ar::loading) {
+        d.clear();
+        d.resize(n);
+    }
+    for (auto &e : d)
+        io(ar, e);
+}
+
+template <class Ar, typename T>
+void
+io(Ar &ar, std::list<T> &l)
+{
+    std::uint64_t n = l.size();
+    ar.value(n);
+    if constexpr (Ar::loading) {
+        l.clear();
+        l.resize(n);
+    }
+    for (auto &e : l)
+        io(ar, e);
+}
+
+template <class Ar, typename A, typename B>
+void
+io(Ar &ar, std::pair<A, B> &p)
+{
+    io(ar, p.first);
+    io(ar, p.second);
+}
+
+/** Multimaps keep iteration order; equal keys stay in insertion
+ *  order, which tick loops that pop equal-cycle entries rely on. */
+template <class Ar, typename K, typename V>
+void
+io(Ar &ar, std::multimap<K, V> &m)
+{
+    if constexpr (Ar::loading) {
+        std::uint64_t n = 0;
+        ar.value(n);
+        m.clear();
+        for (std::uint64_t i = 0; i < n; ++i) {
+            K k{};
+            V v{};
+            io(ar, k);
+            io(ar, v);
+            m.emplace_hint(m.end(), std::move(k), std::move(v));
+        }
+    } else {
+        std::uint64_t n = m.size();
+        ar.value(n);
+        for (auto &kv : m) {
+            K k = kv.first;
+            io(ar, k);
+            io(ar, kv.second);
+        }
+    }
+}
+
+/** Unordered maps are emitted sorted by key so the encoding is
+ *  canonical regardless of hash-table history. */
+template <class Ar, typename K, typename V>
+void
+io(Ar &ar, std::unordered_map<K, V> &m)
+{
+    if constexpr (Ar::loading) {
+        std::uint64_t n = 0;
+        ar.value(n);
+        m.clear();
+        m.reserve(n);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            K k{};
+            io(ar, k);
+            io(ar, m[k]);
+        }
+    } else {
+        std::uint64_t n = m.size();
+        ar.value(n);
+        std::vector<K> keys;
+        keys.reserve(m.size());
+        for (const auto &kv : m)
+            keys.push_back(kv.first);
+        std::sort(keys.begin(), keys.end());
+        for (K &k : keys) {
+            io(ar, k);
+            io(ar, m.at(k));
+        }
+    }
+}
+
+template <class Ar, typename K>
+void
+io(Ar &ar, std::unordered_set<K> &s)
+{
+    if constexpr (Ar::loading) {
+        std::uint64_t n = 0;
+        ar.value(n);
+        s.clear();
+        s.reserve(n);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            K k{};
+            io(ar, k);
+            s.insert(std::move(k));
+        }
+    } else {
+        std::uint64_t n = s.size();
+        ar.value(n);
+        std::vector<K> keys(s.begin(), s.end());
+        std::sort(keys.begin(), keys.end());
+        for (K &k : keys)
+            io(ar, k);
+    }
+}
+
+/** Ring buffers serialize their logical contents front-to-back; the
+ *  head position and capacity are representation, not state. */
+template <class Ar, typename T>
+void
+io(Ar &ar, RingBuffer<T> &rb)
+{
+    if constexpr (Ar::loading) {
+        std::uint64_t n = 0;
+        ar.value(n);
+        rb.clear();
+        for (std::uint64_t i = 0; i < n; ++i) {
+            T t{};
+            io(ar, t);
+            rb.push_back(std::move(t));
+        }
+    } else {
+        std::uint64_t n = rb.size();
+        ar.value(n);
+        for (std::uint64_t i = 0; i < n; ++i)
+            io(ar, rb[i]);
+    }
+}
+
+} // namespace hp
+
+#endif // HP_UTIL_SERIALIZE_HH

@@ -1,5 +1,7 @@
 #include "workload/request_engine.hh"
 
+#include "util/serialize.hh"
+
 #include <algorithm>
 
 #include "util/hash.hh"
@@ -230,5 +232,25 @@ RequestEngine::next(DynInst &inst)
     ++stats_.instructions;
     return true;
 }
+
+template <class Ar>
+void
+RequestEngine::serializeState(Ar &ar)
+{
+    rng_.serializeState(ar);
+    io(ar, frames_);
+    io(ar, requestType_);
+    io(ar, pendingMarker_);
+    io(ar, pendingMarkerArg_);
+    io(ar, stats_.instructions);
+    io(ar, stats_.requests);
+    io(ar, stats_.calls);
+    io(ar, stats_.returns);
+    io(ar, stats_.condBranches);
+    io(ar, stats_.taggedInsts);
+}
+
+template void RequestEngine::serializeState(StateWriter &);
+template void RequestEngine::serializeState(StateLoader &);
 
 } // namespace hp

@@ -75,11 +75,22 @@ class RequestEngine : public InstStream
     /** Request type of the request currently executing. */
     unsigned currentType() const { return requestType_; }
 
+    /** Serializes/restores RNG, call frames, and counters. */
+    template <class Ar> void serializeState(Ar &ar);
+
   private:
     struct LoopState
     {
         std::uint32_t opIdx = 0;
         std::uint16_t remaining = 0;
+
+        template <class Ar>
+        void
+        serializeState(Ar &ar)
+        {
+            ar.value(opIdx);
+            ar.value(remaining);
+        }
     };
 
     struct Frame
@@ -90,6 +101,17 @@ class RequestEngine : public InstStream
         Addr returnAddr = 0;
         /** Active loops in this frame (rarely more than one). */
         std::vector<LoopState> loops;
+
+        template <class Ar>
+        void
+        serializeState(Ar &ar)
+        {
+            ar.value(func);
+            ar.value(opIdx);
+            ar.value(intraRun);
+            ar.value(returnAddr);
+            io(ar, loops);
+        }
     };
 
     void startRequest();

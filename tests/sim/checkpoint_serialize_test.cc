@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Checkpoint blob format tests: golden-file stability, save → restore
+ * → save byte-identity, and rejection (never UB) of malformed,
+ * version-mismatched, or foreign-keyed blobs.
+ *
+ * The golden blob tests/golden/warmup_small.ckpt is checked in. When
+ * an intentional format change bumps kCheckpointFormatVersion,
+ * regenerate it with:
+ *     HP_CKPT_GOLDEN_REGEN=1 ./sim_test \
+ *         --gtest_filter='*Golden*'
+ * and commit the new blob together with the version bump.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <iterator>
+
+#include "sim/checkpoint.hh"
+#include "sim/runner.hh"
+#include "sim/simulator.hh"
+
+#ifndef HP_GOLDEN_DIR
+#define HP_GOLDEN_DIR "tests/golden"
+#endif
+
+namespace hp
+{
+namespace
+{
+
+/**
+ * The golden config: deliberately tiny structures and a short warmup
+ * so the checked-in blob stays small (~200 KB, dominated by the
+ * fixed-size TAGE/ITTAGE tables) while still exercising the
+ * hierarchical prefetcher's compression/metadata path. The reuse
+ * probe is excluded — its tree spans the binary's whole block
+ * footprint (megabytes) and is covered by the replay tests instead.
+ */
+SimConfig
+goldenConfig()
+{
+    SimConfig config;
+    config.workload = "caddy";
+    config.warmupInsts = 60'000;
+    config.measureInsts = 100'000;
+    config.prefetcher = PrefetcherKind::Hierarchical;
+    config.hier.trackBundleStats = true;
+    config.btbEntries = 512;
+    config.mem.l1iBytes = 8 * 1024;
+    config.mem.l2Bytes = 32 * 1024;
+    config.mem.llcBytes = 64 * 1024;
+    config.mem.itlbEntries = 16;
+    config.hier.metadataBufferBytes = 16 * 1024;
+    return config;
+}
+
+std::string
+goldenPath()
+{
+    return std::string(HP_GOLDEN_DIR) + "/warmup_small.ckpt";
+}
+
+Checkpoint
+captureGolden()
+{
+    Simulator sim(goldenConfig());
+    sim.runWarmup();
+    return Checkpoint::capture(
+        sim, ExperimentRunner::configKey(warmupConfig(goldenConfig())));
+}
+
+std::vector<std::uint8_t>
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << "missing " << path;
+    return std::vector<std::uint8_t>(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+}
+
+TEST(CheckpointGoldenTest, GoldenBlobRestoresAndRoundTrips)
+{
+    if (std::getenv("HP_CKPT_GOLDEN_REGEN") != nullptr) {
+        const std::vector<std::uint8_t> image = captureGolden().encode();
+        std::ofstream out(goldenPath(), std::ios::binary | std::ios::trunc);
+        ASSERT_TRUE(out.good()) << "cannot write " << goldenPath();
+        out.write(reinterpret_cast<const char *>(image.data()),
+                  std::streamsize(image.size()));
+        GTEST_SKIP() << "regenerated " << goldenPath();
+    }
+
+    const std::vector<std::uint8_t> on_disk = readFile(goldenPath());
+    std::string error;
+    std::shared_ptr<const Checkpoint> golden =
+        Checkpoint::decode(on_disk, &error);
+    ASSERT_NE(golden, nullptr) << error;
+
+    // save → restore → save must be byte-identical: restore the blob
+    // into a fresh simulator, capture again, and compare images.
+    Simulator sim(goldenConfig());
+    ASSERT_TRUE(golden->restoreInto(sim, &error)) << error;
+    Checkpoint again = Checkpoint::capture(sim, golden->warmupKey());
+    EXPECT_EQ(again.encode(), on_disk);
+}
+
+TEST(CheckpointGoldenTest, GoldenBlobMatchesCurrentEncoder)
+{
+    if (std::getenv("HP_CKPT_GOLDEN_REGEN") != nullptr)
+        GTEST_SKIP() << "regeneration run";
+    // A fresh warmup of the golden config must reproduce the checked-in
+    // bytes exactly — any drift means the serialization layout changed
+    // without a kCheckpointFormatVersion bump.
+    EXPECT_EQ(captureGolden().encode(), readFile(goldenPath()));
+}
+
+TEST(CheckpointFormatTest, EncodeDecodeRoundTrip)
+{
+    Checkpoint ckpt("some-key", {1, 2, 3, 250, 251, 252});
+    std::string error;
+    std::shared_ptr<const Checkpoint> back =
+        Checkpoint::decode(ckpt.encode(), &error);
+    ASSERT_NE(back, nullptr) << error;
+    EXPECT_EQ(back->warmupKey(), "some-key");
+    EXPECT_EQ(back->payload(), ckpt.payload());
+}
+
+TEST(CheckpointFormatTest, RejectsBadMagic)
+{
+    std::vector<std::uint8_t> image = Checkpoint("k", {7}).encode();
+    image[0] ^= 0xff;
+    std::string error;
+    EXPECT_EQ(Checkpoint::decode(image, &error), nullptr);
+    EXPECT_NE(error.find("magic"), std::string::npos) << error;
+}
+
+TEST(CheckpointFormatTest, RejectsVersionMismatchWithClearError)
+{
+    std::vector<std::uint8_t> image = Checkpoint("k", {7}).encode();
+    image[8] = std::uint8_t(kCheckpointFormatVersion + 1); // version LSB
+    std::string error;
+    EXPECT_EQ(Checkpoint::decode(image, &error), nullptr);
+    EXPECT_NE(error.find("version"), std::string::npos) << error;
+    EXPECT_NE(error.find(std::to_string(kCheckpointFormatVersion + 1)),
+              std::string::npos)
+        << error;
+}
+
+TEST(CheckpointFormatTest, RejectsTruncation)
+{
+    const std::vector<std::uint8_t> image =
+        Checkpoint("key", {1, 2, 3, 4}).encode();
+    // Every proper prefix must be rejected, never misread.
+    for (std::size_t n = 0; n < image.size(); ++n) {
+        std::vector<std::uint8_t> cut(image.begin(), image.begin() + n);
+        std::string error;
+        EXPECT_EQ(Checkpoint::decode(cut, &error), nullptr)
+            << "prefix of " << n << " bytes decoded";
+        EXPECT_FALSE(error.empty());
+    }
+}
+
+TEST(CheckpointFormatTest, RejectsTrailingGarbage)
+{
+    std::vector<std::uint8_t> image = Checkpoint("k", {7}).encode();
+    image.push_back(0);
+    std::string error;
+    EXPECT_EQ(Checkpoint::decode(image, &error), nullptr);
+}
+
+TEST(CheckpointFormatTest, RestoreRejectsPayloadForOtherConfig)
+{
+    // A payload captured under one config must not silently restore
+    // into a simulator with a different shape.
+    SimConfig small = goldenConfig();
+    SimConfig big = small;
+    big.mem.l1iBytes *= 4;
+
+    Simulator warm(small);
+    warm.runWarmup();
+    Checkpoint ckpt = Checkpoint::capture(warm, "k");
+
+    Simulator other(big);
+    std::string error;
+    EXPECT_FALSE(ckpt.restoreInto(other, &error));
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(CheckpointFileTest, SaveLoadRoundTripAndKeyCheck)
+{
+    const char *tmpdir = std::getenv("TMPDIR");
+    const std::string dir =
+        (tmpdir ? std::string(tmpdir) : "/tmp") + "/hp_ckpt_test";
+    Checkpoint ckpt("right-key", {9, 8, 7});
+    ASSERT_TRUE(saveCheckpointFile(dir, "t.ckpt", ckpt));
+
+    std::string error;
+    std::shared_ptr<const Checkpoint> loaded =
+        loadCheckpointFile(dir + "/t.ckpt", "right-key", &error);
+    ASSERT_NE(loaded, nullptr) << error;
+    EXPECT_EQ(loaded->payload(), ckpt.payload());
+
+    EXPECT_EQ(loadCheckpointFile(dir + "/t.ckpt", "wrong-key", &error),
+              nullptr);
+    EXPECT_NE(error.find("key mismatch"), std::string::npos) << error;
+
+    EXPECT_EQ(loadCheckpointFile(dir + "/absent.ckpt", "k", &error),
+              nullptr);
+}
+
+} // namespace
+} // namespace hp

@@ -83,6 +83,63 @@ TEST(RunnerTest, ConfigKeyDistinguishesEveryKnob)
     EXPECT_NE(ExperimentRunner::configKey(c7), base_key);
 }
 
+TEST(RunnerTest, MeasurementConfigPinsOnlyUnreadFields)
+{
+    // Fields the configured prefetcher never reads are normalized...
+    SimConfig none = quickConfig(PrefetcherKind::None);
+    none.eip.maxTargets = 7;
+    none.hier.aheadSegments = 9;
+    none.mana.indexEntries = 123;
+    EXPECT_EQ(measurementConfig(none),
+              measurementConfig(quickConfig(PrefetcherKind::None)));
+
+    // ...but fields the simulation does read must survive untouched.
+    SimConfig hier = quickConfig(PrefetcherKind::Hierarchical);
+    hier.hier.aheadSegments = 9;
+    EXPECT_NE(measurementConfig(hier),
+              measurementConfig(quickConfig(PrefetcherKind::Hierarchical)));
+    EXPECT_EQ(measurementConfig(hier).hier.aheadSegments, 9u);
+
+    SimConfig eip = quickConfig(PrefetcherKind::Eip);
+    eip.eip.maxTargets = 5; // actually-read sweep knob
+    EXPECT_NE(measurementConfig(eip),
+              measurementConfig(quickConfig(PrefetcherKind::Eip)));
+}
+
+TEST(RunnerTest, CacheDoesNotRerunConfigsDifferingOnlyInUnreadFields)
+{
+    // Regression: a sweep over a prefetcher knob must not re-simulate
+    // grid points whose configured prefetcher never reads that knob.
+    SimConfig a = quickConfig(PrefetcherKind::None);
+    a.warmupInsts = 110'000; // unique class within the test binary
+    SimConfig b = a;
+    b.eip.maxTargets = 99;
+    ASSERT_FALSE(a == b); // configKey still tells them apart
+    ASSERT_NE(ExperimentRunner::configKey(a),
+              ExperimentRunner::configKey(b));
+
+    SimMetrics ma = ExperimentRunner::run(a);
+    std::size_t after_a = ExperimentRunner::simulationsRun();
+    SimMetrics mb = ExperimentRunner::run(b);
+    EXPECT_EQ(ExperimentRunner::simulationsRun(), after_a);
+    EXPECT_EQ(ma.cycles, mb.cycles);
+}
+
+TEST(RunnerTest, CacheDoesNotAliasConfigsDifferingInReadFields)
+{
+    // The inverse guard: two configs that differ in a field the
+    // simulation reads must stay distinct cache entries.
+    SimConfig a = quickConfig(PrefetcherKind::Hierarchical);
+    a.warmupInsts = 130'000;
+    SimConfig b = a;
+    b.hier.aheadSegments = a.hier.aheadSegments + 2;
+
+    ExperimentRunner::run(a);
+    std::size_t after_a = ExperimentRunner::simulationsRun();
+    ExperimentRunner::run(b);
+    EXPECT_EQ(ExperimentRunner::simulationsRun(), after_a + 1);
+}
+
 TEST(RunnerTest, RunPairBaselineIsFdipOnly)
 {
     SimConfig config = quickConfig(PrefetcherKind::Hierarchical);
