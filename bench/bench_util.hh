@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/obs.hh"
 #include "sim/executor.hh"
 #include "sim/run_report.hh"
 #include "sim/runner.hh"
@@ -91,23 +92,42 @@ geomean(const std::vector<double> &values)
 }
 
 /**
- * Opt-in machine-readable run reports. Construct at the top of a
- * bench's main(); if `--json` (default path "<bench>.stats.json"),
- * `--json=<path>`, or the HP_STATS_JSON environment variable enables
- * reporting, every simulation the harness runs is recorded and the
- * JSON document is written at scope exit (or by an explicit write()).
- * The bench's stdout text output is never touched.
+ * Opt-in machine-readable outputs. Construct at the top of a bench's
+ * main(), before any simulation runs:
+ *
+ *  - `--json[=path]` (or HP_STATS_JSON=path): record every run and
+ *    write the hp-stats-report-v1 JSON document at scope exit
+ *    (default path "<bench>.stats.json");
+ *  - `--trace-json[=path]` (or HP_TRACE_JSON=path): capture trace
+ *    events from every run and write one Perfetto/Chrome-loadable
+ *    trace at scope exit (default "<bench>.trace.json");
+ *  - `--timeseries[=path]` (or HP_TIMESERIES=path): sample registry
+ *    deltas every HP_TS_INTERVAL instructions per run and write the
+ *    combined CSV at scope exit (default "<bench>.timeseries.csv").
+ *
+ * The bench's stdout text output is never touched, and with none of
+ * these given the simulations are bit-identical to a build without
+ * observability (the obs_overhead_check ctest pins this down).
  */
 class JsonReportScope
 {
   public:
     JsonReportScope(int argc, char **argv, const std::string &bench)
     {
+        hp::obs::ObsConfig &ocfg = hp::obs::config();
         for (int i = 1; i < argc; ++i) {
             if (std::strcmp(argv[i], "--json") == 0)
                 path_ = bench + ".stats.json";
             else if (std::strncmp(argv[i], "--json=", 7) == 0)
                 path_ = argv[i] + 7;
+            else if (std::strcmp(argv[i], "--trace-json") == 0)
+                ocfg.tracePath = bench + ".trace.json";
+            else if (std::strncmp(argv[i], "--trace-json=", 13) == 0)
+                ocfg.tracePath = argv[i] + 13;
+            else if (std::strcmp(argv[i], "--timeseries") == 0)
+                ocfg.timeseriesPath = bench + ".timeseries.csv";
+            else if (std::strncmp(argv[i], "--timeseries=", 13) == 0)
+                ocfg.timeseriesPath = argv[i] + 13;
         }
         if (path_.empty()) {
             if (const char *env = std::getenv("HP_STATS_JSON"))
@@ -115,6 +135,7 @@ class JsonReportScope
         }
         if (!path_.empty())
             hp::RunReportLog::enable();
+        obsEnabled_ = ocfg.traceEnabled() || ocfg.timeseriesEnabled();
     }
 
     ~JsonReportScope() { write(); }
@@ -122,10 +143,11 @@ class JsonReportScope
     bool enabled() const { return !path_.empty(); }
     const std::string &path() const { return path_; }
 
-    /** Writes the report now (idempotent; also runs at destruction). */
+    /** Writes the outputs now (idempotent; also runs at destruction). */
     void
     write()
     {
+        writeObs();
         if (path_.empty() || written_)
             return;
         written_ = true;
@@ -143,8 +165,30 @@ class JsonReportScope
     }
 
   private:
+    void
+    writeObs()
+    {
+        if (!obsEnabled_ || obsWritten_)
+            return;
+        obsWritten_ = true;
+        hp::obs::Collector::writeOutputs();
+        const hp::obs::ObsConfig &ocfg = hp::obs::config();
+        if (ocfg.traceEnabled()) {
+            std::fprintf(stderr, "trace: %s (%zu runs)\n",
+                         ocfg.tracePath.c_str(),
+                         hp::obs::Collector::runCount());
+        }
+        if (ocfg.timeseriesEnabled()) {
+            std::fprintf(stderr, "timeseries: %s (%zu runs)\n",
+                         ocfg.timeseriesPath.c_str(),
+                         hp::obs::Collector::runCount());
+        }
+    }
+
     std::string path_;
     bool written_ = false;
+    bool obsEnabled_ = false;
+    bool obsWritten_ = false;
 };
 
 /**

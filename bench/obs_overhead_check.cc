@@ -1,0 +1,257 @@
+/**
+ * @file
+ * CI check for the observability layer's two core guarantees:
+ *
+ *  1. Zero interference. Running the identical config with tracing,
+ *     time-series sampling, and miss attribution all enabled must
+ *     leave every architectural counter — cycles, instructions, and
+ *     the whole stats registry outside `missAttribution.*` — exactly
+ *     equal to the obs-off run. Observability observes; it never
+ *     steers.
+ *
+ *  2. The attribution partition. With attribution on, the
+ *     `missAttribution.*` cause classes must sum to exactly
+ *     `l1i.demand_misses` (and `wrong_path` stays structurally zero);
+ *     with it off the classes must all read zero while the registry
+ *     paths still exist.
+ *
+ * It also smoke-checks the writers: the Perfetto JSON must be
+ * structurally valid (balanced, with the expected metadata and span
+ * records) and the time-series CSV must carry the documented header
+ * and well-formed rows for every run.
+ *
+ * Simulators are constructed directly (not through the executor) so
+ * the obs-on runs cannot be served from the run-memo cache.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "obs/miss_attribution.hh"
+#include "sim/simulator.hh"
+
+namespace
+{
+
+using namespace hp;
+
+bool g_ok = true;
+
+void
+check(bool cond, const std::string &what)
+{
+    if (!cond) {
+        std::fprintf(stderr, "FAIL: %s\n", what.c_str());
+        g_ok = false;
+    }
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+SimConfig
+quickConfig(PrefetcherKind kind)
+{
+    SimConfig config;
+    config.workload = "caddy";
+    config.warmupInsts = 150'000;
+    config.measureInsts = 300'000;
+    config.prefetcher = kind;
+    return config;
+}
+
+std::vector<SimMetrics>
+runDirect(const std::vector<SimConfig> &grid)
+{
+    std::vector<SimMetrics> out;
+    for (const SimConfig &config : grid) {
+        Simulator sim(config);
+        out.push_back(sim.run());
+    }
+    return out;
+}
+
+bool
+isAttributionPath(const std::string &path)
+{
+    return path.rfind("missAttribution.", 0) == 0;
+}
+
+/** Balanced {}/[] outside of strings — cheap structural JSON check. */
+bool
+jsonBalanced(const std::string &text)
+{
+    long depth = 0;
+    bool in_string = false;
+    bool escaped = false;
+    for (char c : text) {
+        if (in_string) {
+            if (escaped)
+                escaped = false;
+            else if (c == '\\')
+                escaped = true;
+            else if (c == '"')
+                in_string = false;
+            continue;
+        }
+        if (c == '"')
+            in_string = true;
+        else if (c == '{' || c == '[')
+            ++depth;
+        else if (c == '}' || c == ']') {
+            if (--depth < 0)
+                return false;
+        }
+    }
+    return depth == 0 && !in_string;
+}
+
+std::size_t
+countOccurrences(const std::string &text, const std::string &needle)
+{
+    std::size_t n = 0;
+    for (std::size_t pos = text.find(needle);
+         pos != std::string::npos; pos = text.find(needle, pos + 1))
+        ++n;
+    return n;
+}
+
+} // namespace
+
+int
+main()
+{
+    // A clean slate regardless of inherited HP_TRACE_JSON etc.: this
+    // test owns the process-global config.
+    obs::ObsConfig &ocfg = obs::config();
+    ocfg = obs::ObsConfig{};
+    obs::Collector::clear();
+
+    const std::vector<SimConfig> grid = {
+        quickConfig(PrefetcherKind::None),
+        quickConfig(PrefetcherKind::Hierarchical),
+    };
+
+    // ---- Pass 1: everything off (the default). ----
+    const std::vector<SimMetrics> off = runDirect(grid);
+
+    for (const SimMetrics &m : off) {
+        std::uint64_t attr_sum = 0;
+        for (unsigned c = 0; c < kNumMissCauses; ++c) {
+            const std::string path =
+                std::string("missAttribution.") +
+                missCauseName(static_cast<MissCause>(c));
+            check(m.stats.has(path), "registry path missing: " + path);
+            if (m.stats.has(path))
+                attr_sum += m.stats.value(path);
+        }
+        check(attr_sum == 0,
+              "attribution counted misses while disabled");
+    }
+
+    // ---- Pass 2: trace + time-series + attribution all on. ----
+    const std::string trace_path = "obs_overhead_check.trace.json";
+    const std::string ts_path = "obs_overhead_check.timeseries.csv";
+    ocfg.tracePath = trace_path;
+    ocfg.timeseriesPath = ts_path;
+    ocfg.intervalInsts = 50'000;
+    ocfg.traceCapacity = 1 << 16; // Bound the JSON; exercises dropping.
+    const std::vector<SimMetrics> on = runDirect(grid);
+
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        const std::string who = grid[i].workload + "/" +
+                                prefetcherName(grid[i].prefetcher);
+        check(off[i].cycles == on[i].cycles,
+              who + ": cycles drifted with obs on");
+        check(off[i].instructions == on[i].instructions,
+              who + ": instructions drifted with obs on");
+
+        // Every architectural counter must match; only the
+        // missAttribution subtree is allowed to change.
+        check(off[i].stats.size() == on[i].stats.size(),
+              who + ": registry shape drifted with obs on");
+        for (const StatsSnapshot::Entry &e : off[i].stats.entries()) {
+            if (isAttributionPath(e.first))
+                continue;
+            check(on[i].stats.has(e.first) &&
+                      on[i].stats.value(e.first) == e.second,
+                  who + ": stat drifted with obs on: " + e.first);
+        }
+
+        // The partition invariant: cause classes sum to exactly the
+        // L1-I demand misses of the measurement phase.
+        std::uint64_t attr_sum = 0;
+        for (unsigned c = 0; c < kNumMissCauses; ++c) {
+            attr_sum += on[i].stats.value(
+                std::string("missAttribution.") +
+                missCauseName(static_cast<MissCause>(c)));
+        }
+        const std::uint64_t misses =
+            on[i].stats.value("l1i.demand_misses");
+        check(attr_sum == misses,
+              who + ": attribution sum " + std::to_string(attr_sum) +
+                  " != l1i demand misses " + std::to_string(misses));
+        check(on[i].stats.value("missAttribution.wrong_path") == 0,
+              who + ": wrong_path must be structurally zero");
+        check(misses > 0, who + ": expected a nonzero miss count");
+    }
+
+    // ---- Writers. ----
+    obs::Collector::writeOutputs();
+
+    const std::string trace = readFile(trace_path);
+    check(!trace.empty(), "trace JSON missing or empty");
+    check(jsonBalanced(trace), "trace JSON is structurally unbalanced");
+    check(trace.find("\"traceEvents\"") != std::string::npos,
+          "trace JSON lacks traceEvents");
+    check(trace.find("\"process_name\"") != std::string::npos,
+          "trace JSON lacks process_name metadata");
+    check(trace.find("\"thread_name\"") != std::string::npos,
+          "trace JSON lacks thread_name metadata");
+    check(countOccurrences(trace, "\"ph\":\"X\"") > 0,
+          "trace JSON has no span events");
+    check(countOccurrences(trace, "\"ph\":\"i\"") > 0,
+          "trace JSON has no instant events");
+
+    const std::string csv = readFile(ts_path);
+    std::istringstream lines(csv);
+    std::string line;
+    check(bool(std::getline(lines, line)), "time-series CSV is empty");
+    check(line == "run,label,interval_insts,phase,insts,cycles,"
+                  "d_insts,d_cycles,d_l1i_accesses,d_l1i_misses,"
+                  "d_dram_bytes,d_metadata_bytes,ipc,l1i_mpki",
+          "time-series CSV header drifted: " + line);
+    std::size_t data_rows = 0;
+    bool saw_measure = false, saw_warmup = false;
+    while (std::getline(lines, line)) {
+        if (line.empty())
+            continue;
+        ++data_rows;
+        check(countOccurrences(line, ",") == 13,
+              "malformed time-series row: " + line);
+        if (line.find(",measure,") != std::string::npos)
+            saw_measure = true;
+        if (line.find(",warmup,") != std::string::npos)
+            saw_warmup = true;
+    }
+    // 450k insts at 50k per sample: >= 9 rows per run, two runs.
+    check(data_rows >= 2 * 9, "too few time-series rows");
+    check(saw_warmup && saw_measure,
+          "time-series must cover both warmup and measurement");
+    check(csv.find("caddy/") != std::string::npos,
+          "time-series rows lack run labels");
+
+    std::fprintf(stderr, "obs_overhead_check: %s\n",
+                 g_ok ? "OK" : "FAILED");
+    return g_ok ? 0 : 1;
+}

@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
-# Tier-1 verification flow, plus the AddressSanitizer pass.
+# Tier-1 verification flow, plus the sanitizer passes.
 #
 # Stage 1 is exactly the ROADMAP tier-1 command: configure, build,
 # ctest in build/. Stage 2 rebuilds everything with HP_SANITIZE=address
 # into build-asan/ and reruns the full suite under ASan, so memory
 # errors in the simulator, the checkpoint restore path, and the tests
-# themselves fail CI rather than silently corrupting results.
+# themselves fail CI rather than silently corrupting results. Stage 3
+# does the same with HP_SANITIZE=undefined into build-ubsan/ so
+# undefined behaviour (shift overflows, misaligned loads in the event
+# ring and serializers, enum abuse) is caught too.
 #
-# Usage: scripts/tier1.sh [--asan-only|--no-asan]
+# Usage: scripts/tier1.sh [--asan-only|--ubsan-only|--no-sanitizers]
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -21,12 +24,19 @@ run_stage() {
 
 stage="${1:-}"
 
-if [[ "$stage" != "--asan-only" ]]; then
+if [[ "$stage" != "--asan-only" && "$stage" != "--ubsan-only" ]]; then
     run_stage build
 fi
 
-if [[ "$stage" != "--no-asan" ]]; then
+if [[ "$stage" != "--no-sanitizers" && "$stage" != "--ubsan-only" ]]; then
     run_stage build-asan -DHP_SANITIZE=address
+fi
+
+if [[ "$stage" != "--no-sanitizers" && "$stage" != "--asan-only" ]]; then
+    # Abort on the first UBSan diagnostic instead of printing and
+    # continuing, so ctest actually fails.
+    UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+        run_stage build-ubsan -DHP_SANITIZE=undefined
 fi
 
 echo "tier1: all stages passed"

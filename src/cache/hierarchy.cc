@@ -96,6 +96,9 @@ CacheHierarchy::completeFill(const Mshr &mshr)
     EvictInfo evicted = l1i_.insert(mshr.block, l1_origin);
     if (mshr.origin != Origin::Demand) {
         ++statsFor(mshr.origin).inserted;
+        HP_EMIT(obs_, emit(EventKind::PrefetchFill, mshr.readyAt,
+                           mshr.block, 0, mshr.demandMerged,
+                           static_cast<std::uint8_t>(mshr.origin)));
         if (mshr.demandMerged) {
             // Mark used immediately: the merged demand consumes it.
             l1i_.markUsed(mshr.block);
@@ -104,8 +107,15 @@ CacheHierarchy::completeFill(const Mshr &mshr)
     if (evicted.valid && evicted.origin != Origin::Demand &&
         !evicted.used) {
         ++statsFor(evicted.origin).uselessEvicted;
+        HP_EMIT(obs_, emit(EventKind::PrefetchEvictedUnused,
+                           mshr.readyAt, evicted.block, 0, 0,
+                           static_cast<std::uint8_t>(evicted.origin)));
         if (evicted.origin == Origin::Ext)
             recordExtOutcome(evicted.block, /*useful=*/false);
+    }
+    if (evicted.valid && attr_.enabled()) {
+        attr_.onEvicted(evicted.block,
+                        evicted.origin != Origin::Demand, evicted.used);
     }
 }
 
@@ -177,9 +187,14 @@ CacheHierarchy::demandAccess(Addr block, Cycle now)
         Mshr &mshr = it->second;
         if (mshr.origin != Origin::Demand && !mshr.demandMerged) {
             ++statsFor(mshr.origin).lateMerges;
+            HP_EMIT(obs_, emit(EventKind::PrefetchLate, now, block, 0,
+                               mshr.readyAt > now ? mshr.readyAt - now
+                                                  : 0,
+                               static_cast<std::uint8_t>(mshr.origin)));
             if (mshr.origin == Origin::Ext)
                 recordExtOutcome(block, /*useful=*/true);
         }
+        bool was_prefetch = mshr.origin != Origin::Demand;
         mshr.demandMerged = true;
         // A prefetch targeting the L2 must now fill the L1-I too.
         mshr.toL2Only = false;
@@ -190,11 +205,20 @@ CacheHierarchy::demandAccess(Addr block, Cycle now)
             ++stats_.demandL2Misses;
         if (mshr.fillLlc)
             ++stats_.demandLlcMisses;
+        HP_EMIT(obs_, emitSpan(EventKind::DemandMissMshr, now,
+                               now + wait, block));
+        if (attr_.enabled())
+            attr_.onMissMerge(block, was_prefetch, wait);
         return {false, std::max(mshr.readyAt, now), ServiceLevel::Mshr};
     }
 
-    if (mshrs_.size() >= params_.l1iMshrs)
+    if (mshrs_.size() >= params_.l1iMshrs) {
+        HP_EMIT(obs_, emitSpan(EventKind::DemandMissMshr, now, now + 1,
+                               block, /*arg=*/1));
+        if (attr_.enabled())
+            attr_.onMissRetry(block);
         return {true, now + 1, ServiceLevel::Mshr};
+    }
 
     ProbeResult probe = probeBeyondL1(block, /*demand=*/true);
     if (probe.extServedAtL2) {
@@ -235,6 +259,17 @@ CacheHierarchy::demandAccess(Addr block, Cycle now)
     mshr.demandMerged = true;
     mshrs_.emplace(block, mshr);
     completions_.emplace(mshr.readyAt, block);
+#ifndef HP_NO_OBS
+    if (obs_) {
+        EventKind kind = probe.level == ServiceLevel::L2
+            ? EventKind::DemandMissL2
+            : probe.level == ServiceLevel::Llc ? EventKind::DemandMissLlc
+                                               : EventKind::DemandMissMem;
+        obs_->emitSpan(kind, now, mshr.readyAt, block);
+    }
+#endif
+    if (attr_.enabled())
+        attr_.onMissFill(block, probe.latency);
     return {false, mshr.readyAt, probe.level};
 }
 
@@ -243,18 +278,27 @@ CacheHierarchy::prefetch(Addr block, Origin origin, Cycle now, bool to_l2)
 {
     PrefetchStats &ps = statsFor(origin);
     ++ps.issued;
+    const std::uint8_t org = static_cast<std::uint8_t>(origin);
 
     if (to_l2 ? l2_.contains(block) : l1i_.contains(block)) {
         ++ps.redundant;
+        HP_EMIT(obs_, emit(EventKind::PrefetchRedundant, now, block,
+                           0, 0, org));
         return false;
     }
     if (mshrs_.count(block)) {
         ++ps.redundant;
+        HP_EMIT(obs_, emit(EventKind::PrefetchRedundant, now, block,
+                           0, 1, org));
         return false;
     }
     if (mshrs_.size() + params_.mshrsReservedForDemand >=
         params_.l1iMshrs) {
         ++ps.dropped;
+        HP_EMIT(obs_, emit(EventKind::PrefetchDropped, now, block,
+                           0, 0, org));
+        if (attr_.enabled())
+            attr_.onPrefetchDropped(block);
         return false;
     }
 
@@ -262,6 +306,8 @@ CacheHierarchy::prefetch(Addr block, Origin origin, Cycle now, bool to_l2)
     if (to_l2 && probe.level == ServiceLevel::L2) {
         // Already in the L2: nothing to do for an L2-targeted prefetch.
         ++ps.redundant;
+        HP_EMIT(obs_, emit(EventKind::PrefetchRedundant, now, block,
+                           0, 2, org));
         return false;
     }
 
@@ -275,6 +321,10 @@ CacheHierarchy::prefetch(Addr block, Origin origin, Cycle now, bool to_l2)
     mshr.toL2Only = to_l2;
     mshrs_.emplace(block, mshr);
     completions_.emplace(mshr.readyAt, block);
+    HP_EMIT(obs_, emit(EventKind::PrefetchIssued, now, block, 0,
+                       probe.latency, org));
+    if (attr_.enabled() && !to_l2)
+        attr_.onPrefetchAccepted(block);
     if (to_l2)
         ++ps.inserted;
     if (origin == Origin::Ext)
@@ -295,17 +345,19 @@ CacheHierarchy::metadataRead(std::uint64_t bytes, Cycle now)
     ++metadataReads_;
     bool from_dram = params_.metadataDramEvery != 0 &&
         metadataReads_ % params_.metadataDramEvery == 0;
-    if (from_dram) {
+    Cycle ready = now +
+        (from_dram ? params_.memLatency : params_.llcLatency);
+    HP_EMIT(obs_, emitSpan(EventKind::MetadataRead, now, ready,
+                           /*addr=*/from_dram ? 1 : 0, bytes));
+    if (from_dram)
         stats_.dramMetadataReadBytes += roundUp(bytes, kBlockBytes);
-        return now + params_.memLatency;
-    }
-    return now + params_.llcLatency;
+    return ready;
 }
 
 void
 CacheHierarchy::metadataWrite(std::uint64_t bytes, Cycle now)
 {
-    (void)now;
+    HP_EMIT(obs_, emit(EventKind::MetadataWrite, now, 0, 0, bytes));
     // Posted writes; dirty metadata lines eventually reach DRAM.
     stats_.dramMetadataWriteBytes += bytes;
 }
@@ -362,6 +414,8 @@ CacheHierarchy::registerStats(StatsRegistry &reg) const
             [&s] { return s.dramMetadataWriteBytes; });
 
     itlb_.registerStats(reg, "itlb");
+
+    attr_.registerStats(reg, "missAttribution");
 }
 
 void
@@ -372,6 +426,7 @@ CacheHierarchy::resetStats()
     l2_.resetStats();
     llc_.resetStats();
     itlb_.resetStats();
+    attr_.resetCounters();
 }
 
 template <class Ar>
@@ -388,6 +443,11 @@ CacheHierarchy::serializeState(Ar &ar)
     io(ar, fetchBlockSeq_);
     io(ar, metadataReads_);
     stats_.serializeState(ar);
+    // Appendix: only present when attribution runs, so the default
+    // checkpoint byte stream (and the golden blob) is unchanged.
+    // Enablement is process-global config, so writer and loader agree.
+    if (attr_.enabled())
+        attr_.serializeState(ar);
 }
 
 template void CacheHierarchy::serializeState(StateWriter &);

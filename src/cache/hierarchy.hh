@@ -23,6 +23,8 @@
 
 #include "cache/cache.hh"
 #include "cache/tlb.hh"
+#include "obs/event_sink.hh"
+#include "obs/miss_attribution.hh"
 #include "prefetch/prefetcher.hh"
 #include "stats/histogram.hh"
 #include "stats/registry.hh"
@@ -278,9 +280,19 @@ class CacheHierarchy : public MetadataMemory
     /**
      * Registers every hierarchy counter: the l1i/l2i/llc demand path,
      * the per-origin fdip/ext prefetch stats, DRAM traffic buckets,
-     * and the I-TLB (which this hierarchy owns) under "itlb".
+     * the I-TLB (which this hierarchy owns) under "itlb", and the
+     * miss-attribution cause classes under "missAttribution".
      */
     void registerStats(StatsRegistry &reg) const;
+
+    /** Points the observability emit sites at @p sink (may be null). */
+    void setEventSink(EventSink *sink) { obs_ = sink; }
+
+    /** Turns on per-line miss attribution (off by default). */
+    void enableMissAttribution() { attr_.setEnabled(true); }
+
+    MissAttribution &missAttribution() { return attr_; }
+    const MissAttribution &missAttribution() const { return attr_; }
 
     Tlb &itlb() { return itlb_; }
     SetAssocCache &l1i() { return l1i_; }
@@ -356,6 +368,12 @@ class CacheHierarchy : public MetadataMemory
     std::uint64_t metadataReads_ = 0;
 
     HierarchyStats stats_;
+
+    /** Observability: null unless tracing was requested. */
+    EventSink *obs_ = nullptr;
+    /** L1-I miss attribution; counters always registered, hooks only
+     *  run when enabled. */
+    MissAttribution attr_;
 };
 
 /** Computes the instruction-share capacity of a unified level. */

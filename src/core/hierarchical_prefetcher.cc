@@ -106,6 +106,8 @@ HierarchicalPrefetcher::bundleBoundary(const DynInst &inst, Cycle now)
 
     BundleId id = bundleIdFor(inst.nextFetchPc());
     ++stats_.bundlesStarted;
+    HP_EMIT(eventSink(), emit(EventKind::BundleBoundary, now,
+                              blockAlign(inst.pc), 0, id));
 
     // Replay must look up the table *before* record allocation can
     // disturb it.
@@ -129,6 +131,9 @@ HierarchicalPrefetcher::endRecord(Cycle now)
 {
     if (!recording_)
         return;
+
+    HP_EMIT(eventSink(), emitSpan(EventKind::BundleRecord,
+                                  recordStartCycle_, now, 0, recordId_));
 
     for (const SpatialRegion &region : compression_.flush())
         appendRegion(region, now);
@@ -224,6 +229,8 @@ HierarchicalPrefetcher::beginRecord(BundleId id, Cycle now)
             ++stats_.matInvalidations;
         }
         ++stats_.segmentsAllocated;
+        HP_EMIT(eventSink(), emit(EventKind::SegmentAllocated, now, 0,
+                                  0, idx));
         recordHead_ = idx;
         recordCur_ = idx;
         supersedeNext_ = kNoSeg;
@@ -260,6 +267,8 @@ HierarchicalPrefetcher::advanceRecordSegment(Cycle now)
             ++stats_.matInvalidations;
         }
         ++stats_.segmentsAllocated;
+        HP_EMIT(eventSink(), emit(EventKind::SegmentAllocated, now, 0,
+                                  0, idx));
         next = idx;
     }
 
@@ -297,6 +306,8 @@ HierarchicalPrefetcher::appendRegion(const SpatialRegion &region, Cycle now)
     }
     cur->regions.push_back(region);
     ++stats_.regionsRecorded;
+    HP_EMIT(eventSink(), emit(EventKind::CompressionFlush, now,
+                              region.blockAt(0), 0, region.bits));
 
     memory_.metadataWrite(kRegionEncodedBytes, now);
     stats_.metadataWriteBytes += kRegionEncodedBytes;
@@ -344,15 +355,21 @@ HierarchicalPrefetcher::beginReplay(SegIdx head, Cycle now)
             rs.paceEnd = rs.paceStart;
         // Sequential chain walk: each segment's read depends on the
         // previous segment's next pointer.
+        Cycle fetch_start = chain_ready;
         chain_ready = memory_.metadataRead(kSegmentEncodedBytes,
                                            chain_ready);
         rs.readyAt = chain_ready;
         stats_.metadataReadBytes += kSegmentEncodedBytes;
+        HP_EMIT(eventSink(), emitSpan(EventKind::SegmentFetch,
+                                      fetch_start, chain_ready, 0, i));
         replay_.push_back(std::move(rs));
     }
 
-    if (!replay_.empty())
+    if (!replay_.empty()) {
         ++stats_.replaysStarted;
+        HP_EMIT(eventSink(), emit(EventKind::ReplayStart, now, 0, 0,
+                                  replay_.size()));
+    }
 }
 
 void

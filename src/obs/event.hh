@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Typed trace events for the observability layer.
+ *
+ * Every interesting micro-event in the pipeline — prefetch lifecycle
+ * transitions, demand-miss service spans, Bundle record/replay
+ * activity, metadata traffic, and front-end stalls — is recorded as
+ * one fixed-size TraceEvent in a per-simulator ring (obs/event_sink).
+ * The schema is deliberately flat: a kind, the cycle it happened, an
+ * optional duration (for span events), a block/region address, and one
+ * kind-specific argument. The Perfetto exporter (obs/perfetto_export)
+ * maps kinds onto per-component tracks; see DESIGN.md Section 9.
+ */
+
+#ifndef HP_OBS_EVENT_HH
+#define HP_OBS_EVENT_HH
+
+#include <cstdint>
+
+#include "util/types.hh"
+
+namespace hp
+{
+
+/** What happened. Span kinds carry a nonzero duration. */
+enum class EventKind : std::uint8_t
+{
+    // ---- Front end (track "frontend") ----
+    FtqStallBtbMiss,    ///< Span: prediction stalled on a BTB miss.
+    FtqStallMispredict, ///< Span: prediction stalled on a mispredict.
+    FetchStall,         ///< Span: fetch waiting on an L1-I miss.
+    ItlbWalk,           ///< Span: fetch waiting on an I-TLB walk.
+
+    // ---- Back end (track "backend") ----
+    BackendStall, ///< Span: commit blocked on a long-latency inst.
+
+    // ---- L1-I demand path (track "l1i") ----
+    DemandMissL2,   ///< Span: demand miss served by the L2.
+    DemandMissLlc,  ///< Span: demand miss served by the LLC.
+    DemandMissMem,  ///< Span: demand miss served by DRAM.
+    DemandMissMshr, ///< Span: demand merged into an in-flight fill.
+
+    // ---- Prefetch lifecycle (tracks "fdip" / "ext") ----
+    PrefetchIssued,        ///< Fill initiated for a prefetch.
+    PrefetchRedundant,     ///< Target already resident or in flight.
+    PrefetchDropped,       ///< No MSHR available; request discarded.
+    PrefetchSquashed,      ///< Request queue full; squashed pre-issue.
+    PrefetchFill,          ///< Prefetch fill landed in the L1-I.
+    PrefetchLate,          ///< Demand merged into the in-flight fill.
+    PrefetchEvictedUnused, ///< Evicted from the L1-I without use.
+
+    // ---- Bundle record/replay (tracks "record" / "replay") ----
+    BundleBoundary, ///< Tagged call/return committed; arg = Bundle ID.
+    BundleRecord,   ///< Span: one Bundle record (open to close).
+    CompressionFlush, ///< Region left the Compression Buffer.
+    SegmentAllocated, ///< Metadata Buffer segment allocated.
+    ReplayStart,      ///< Replay began; arg = chain segments.
+    SegmentFetch,     ///< Span: metadata read of one replay segment.
+
+    // ---- Metadata traffic (track "metadata") ----
+    MetadataRead,  ///< Span: metadata read; arg = bytes, addr = 1 if DRAM.
+    MetadataWrite, ///< Posted metadata write; arg = bytes.
+
+    kCount
+};
+
+constexpr unsigned kNumEventKinds =
+    static_cast<unsigned>(EventKind::kCount);
+
+/** One recorded event (32 bytes). */
+struct TraceEvent
+{
+    Cycle cycle = 0;         ///< When the event (or span) started.
+    Addr addr = 0;           ///< Block/region address when meaningful.
+    std::uint64_t arg = 0;   ///< Kind-specific (bytes, Bundle ID, ...).
+    std::uint32_t dur = 0;   ///< Span length in cycles (0 = instant).
+    EventKind kind = EventKind::PrefetchIssued;
+    std::uint8_t origin = 0; ///< Origin enum value for prefetch kinds.
+    std::uint16_t pad = 0;
+};
+
+static_assert(sizeof(TraceEvent) == 32, "TraceEvent should stay small");
+
+/** Human-readable event name (Perfetto slice names). */
+const char *eventKindName(EventKind kind);
+
+/** True when the kind is rendered as a duration (span) event. */
+bool eventKindIsSpan(EventKind kind);
+
+} // namespace hp
+
+#endif // HP_OBS_EVENT_HH

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Chrome/Perfetto trace-event JSON export.
+ *
+ * Emits the legacy Chrome trace-event format (a `traceEvents` array of
+ * "X"/"i"/"M" records), which both chrome://tracing and the Perfetto
+ * UI (ui.perfetto.dev) load directly. Each simulation run becomes one
+ * process (pid = run index, named "<workload>/<prefetcher> #n") with
+ * one thread per component track — frontend, backend, l1i, fdip, ext,
+ * record, replay, metadata — and one simulated cycle maps to one
+ * microsecond of trace time. See DESIGN.md Section 9 for the schema.
+ */
+
+#ifndef HP_OBS_PERFETTO_EXPORT_HH
+#define HP_OBS_PERFETTO_EXPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "obs/obs.hh"
+
+namespace hp::obs
+{
+
+/** Track (tid) an event kind renders on; 1-based, stable. */
+unsigned eventTrack(EventKind kind, std::uint8_t origin);
+
+/** Display name of a track id. */
+const char *trackName(unsigned track);
+
+/** Number of defined tracks. */
+unsigned numTracks();
+
+/**
+ * Writes the Perfetto-loadable JSON for @p runs to @p path.
+ * Fatal on I/O failure (short writes included).
+ */
+void writePerfettoJson(const std::string &path,
+                       const std::vector<RunCapture> &runs);
+
+/** Renders the document to a string (tests). */
+std::string perfettoJson(const std::vector<RunCapture> &runs);
+
+} // namespace hp::obs
+
+#endif // HP_OBS_PERFETTO_EXPORT_HH

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "isa/inst.hh"
+#include "obs/event_sink.hh"
 #include "stats/registry.hh"
 #include "util/ring_buffer.hh"
 #include "util/serialize.hh"
@@ -129,6 +130,16 @@ class Prefetcher
 
     std::size_t queueDepth() const { return queue_.size(); }
 
+    /** Points the queue-squash emit site at @p sink (may be null). */
+    void setEventSink(EventSink *sink) { obs_ = sink; }
+
+    /**
+     * Latches the simulator clock for emit sites reached through
+     * paths that do not carry a cycle (push). Called once per cycle;
+     * only meaningful while an event sink is attached.
+     */
+    void noteCycle(Cycle now) { obsNow_ = now; }
+
     /**
      * Serializes/restores prefetcher state for checkpointing. The
      * base handles the shared request queue and its counters;
@@ -144,6 +155,10 @@ class Prefetcher
     {
         if (queue_.size() >= maxQueue_) {
             ++droppedFull_;
+            // Origin 2 == Origin::Ext: the external prefetcher is the
+            // only client of this queue.
+            HP_EMIT(obs_, emit(EventKind::PrefetchSquashed, obsNow_,
+                               block, 0, 0, 2));
             return;
         }
         queue_.push_back(block);
@@ -152,6 +167,12 @@ class Prefetcher
 
     /** Sets the request-queue capacity (bulk prefetchers need more). */
     void setMaxQueue(std::size_t capacity) { maxQueue_ = capacity; }
+
+    /** The attached sink (null unless tracing); for subclass emits. */
+    EventSink *eventSink() const { return obs_; }
+
+    /** The cycle last latched by noteCycle. */
+    Cycle obsNow() const { return obsNow_; }
 
     std::size_t maxQueue() const { return maxQueue_; }
 
@@ -173,6 +194,8 @@ class Prefetcher
     std::uint64_t pushed_ = 0;
     std::uint64_t popped_ = 0;
     std::uint64_t droppedFull_ = 0;
+    EventSink *obs_ = nullptr;
+    Cycle obsNow_ = 0;
 };
 
 } // namespace hp

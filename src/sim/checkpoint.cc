@@ -303,7 +303,8 @@ runCheckpointed(const SimConfig &config)
                     store.publish(wcfg, ckpt);
                     return sim.finishRun();
                 }
-                warn("ignoring unusable checkpoint: " + error);
+                HP_WARN_LIMIT(8, "ignoring unusable checkpoint: " +
+                                     error);
             }
         }
 
@@ -331,7 +332,8 @@ runCheckpointed(const SimConfig &config)
         std::string error;
         if (ckpt->restoreInto(sim, &error))
             return sim.finishRun();
-        warn("checkpoint restore failed (" + error + "); running cold");
+        HP_WARN_LIMIT(8, "checkpoint restore failed (" + error +
+                             "); running cold");
     }
     Simulator cold(config);
     return cold.run();

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/miss_attribution.hh"
 #include "sim/runner.hh"
 
 namespace hp
@@ -51,6 +52,32 @@ fmtDouble(double v)
     out.precision(17);
     out << v;
     return out.str();
+}
+
+/**
+ * Renders the miss-attribution summary for one run: the per-class
+ * measurement-phase miss counts plus their sum and the L1-I demand
+ * misses they partition. All zeros unless attribution ran.
+ */
+void
+appendAttribution(std::ostringstream &out, const StatsSnapshot &stats)
+{
+    out << "      \"attribution\": {\n";
+    std::uint64_t total = 0;
+    for (unsigned i = 0; i < kNumMissCauses; ++i) {
+        const std::string path = std::string("missAttribution.") +
+            missCauseName(static_cast<MissCause>(i));
+        const std::uint64_t v = stats.has(path) ? stats.value(path) : 0;
+        total += v;
+        out << "        \""
+            << missCauseName(static_cast<MissCause>(i)) << "\": " << v
+            << ",\n";
+    }
+    const std::uint64_t misses = stats.has("l1i.demand_misses")
+        ? stats.value("l1i.demand_misses") : 0;
+    out << "        \"total\": " << total << ",\n"
+        << "        \"l1i_demand_misses\": " << misses << "\n"
+        << "      },\n";
 }
 
 } // namespace
@@ -105,8 +132,9 @@ RunReportLog::documentJson()
             << "      \"config_key\": \"" << jsonEscape(run.configKey)
             << "\",\n"
             << "      \"stats\": "
-            << m.stats.toJson(6).substr(6) << ",\n"
-            << "      \"derived\": {\n"
+            << m.stats.toJson(6).substr(6) << ",\n";
+        appendAttribution(out, m.stats);
+        out << "      \"derived\": {\n"
             << "        \"ipc\": " << fmtDouble(m.ipc()) << ",\n"
             << "        \"ext_accuracy\": "
             << fmtDouble(m.mem.ext.accuracy()) << ",\n"

@@ -61,6 +61,56 @@ Simulator::Simulator(const SimConfig &config)
     if (cfg_.trackReuse)
         reuseHist_ = std::make_unique<Histogram>(64.0, 4096);
     registerStats();
+
+    // Observability wiring (after registerStats: the sampler reads
+    // registered paths). All of this stays inert — null sink, disabled
+    // attribution, no sampler — unless obs::config() asks for it.
+    const obs::ObsConfig &ocfg = obs::config();
+    if (ocfg.traceEnabled()) {
+        obs_ = std::make_unique<EventSink>(ocfg.traceCapacity);
+        hier_.setEventSink(obs_.get());
+        if (pf_)
+            pf_->setEventSink(obs_.get());
+    }
+    if (ocfg.attributionEnabled())
+        hier_.enableMissAttribution();
+    if (ocfg.timeseriesEnabled()) {
+        sampler_ = std::make_unique<IntervalSampler>(
+            registry_, ocfg.intervalInsts);
+    }
+}
+
+Simulator::~Simulator()
+{
+    // Fallback for runs torn down before finishRun (or without one):
+    // hand over whatever was captured so the trace is not lost.
+    if ((obs_ && obs_->emitted() > 0) ||
+        (sampler_ && !sampler_->rows().empty())) {
+        flushObs();
+    }
+}
+
+void
+Simulator::flushObs()
+{
+    if (obsFlushed_)
+        return;
+    const obs::ObsConfig &ocfg = obs::config();
+    if (!ocfg.traceEnabled() && !ocfg.timeseriesEnabled())
+        return;
+    obsFlushed_ = true;
+
+    obs::RunCapture cap;
+    cap.label = cfg_.workload + "/" + prefetcherName(cfg_.prefetcher);
+    if (obs_) {
+        cap.eventsDropped = obs_->dropped();
+        cap.events = obs_->drain();
+    }
+    if (sampler_) {
+        cap.tsInterval = sampler_->interval();
+        cap.samples = sampler_->takeRows();
+    }
+    obs::Collector::addRun(std::move(cap));
 }
 
 void
@@ -199,6 +249,7 @@ Simulator::stepPredict()
             feBlock_ = blocker;
             feBlockSeq_ = end - 1;
             feResumeScheduled_ = false;
+            feBlockStart_ = cycle_;
             return;
         }
     }
@@ -251,6 +302,9 @@ Simulator::stepFetch()
                 entry.translated = true;
                 if (walk > 0) {
                     fetchStalledUntil_ = cycle_ + walk;
+                    HP_EMIT(obs_.get(),
+                            emitSpan(EventKind::ItlbWalk, cycle_,
+                                     cycle_ + walk, entry.block));
                     return;
                 }
             } else {
@@ -290,6 +344,9 @@ Simulator::stepFetch()
                 }
                 if (res.level != ServiceLevel::L1) {
                     fetchStalledUntil_ = res.readyAt;
+                    HP_EMIT(obs_.get(),
+                            emitSpan(EventKind::FetchStall, cycle_,
+                                     res.readyAt, entry.block));
                     if (measuring_ && res.readyAt > cycle_) {
                         metrics_.fetchStallCycles +=
                             res.readyAt - cycle_;
@@ -346,6 +403,9 @@ Simulator::stepCommit()
             (mix64(inst.pc * 0x2545f4914f6cdd1dULL) % 1000) <
                 cfg_.backendStallPermille) {
             commitBlockedUntil_ = cycle_ + cfg_.backendStallCycles;
+            HP_EMIT(obs_.get(),
+                    emitSpan(EventKind::BackendStall, cycle_,
+                             commitBlockedUntil_, blockAlign(inst.pc)));
             if (measuring_)
                 metrics_.backendStallCycles += cfg_.backendStallCycles;
         }
@@ -365,6 +425,10 @@ Simulator::stepCommit()
         if (was_blocking_mispredict) {
             // Flush and resteer: the prediction unit resumes after the
             // branch; fetch pays the refill penalty.
+            HP_EMIT(obs_.get(),
+                    emitSpan(EventKind::FtqStallMispredict,
+                             feBlockStart_, cycle_,
+                             blockAlign(inst.pc)));
             ftq_.clear();
             bpSeq_ = windowBase_;
             fetchSeq_ = windowBase_;
@@ -401,6 +465,12 @@ Simulator::beginMeasurement()
 void
 Simulator::stepCycle(bool has_pf)
 {
+#ifndef HP_NO_OBS
+    // Latch the clock for prefetcher-internal emit sites (queue
+    // squashes) whose call paths carry no cycle argument.
+    if (obs_ && pf_)
+        pf_->noteCycle(cycle_);
+#endif
     hier_.tick(cycle_);
     stepPredict();
     if (has_pf)
@@ -412,6 +482,9 @@ Simulator::stepCycle(bool has_pf)
         const DynInst &inst = at(feBlockSeq_).inst;
         btb_.update(inst.pc, inst.target);
         feBlock_ = FeBlock::None;
+        HP_EMIT(obs_.get(), emitSpan(EventKind::FtqStallBtbMiss,
+                                     feBlockStart_, cycle_,
+                                     blockAlign(inst.pc)));
     }
     stepCommit();
 }
@@ -430,6 +503,8 @@ Simulator::runWarmup()
     // finishRun() handles the degenerate boundary.
     while (committed_ < total) {
         stepCycle(has_pf);
+        if (sampler_)
+            sampler_->tick(committed_, /*measuring=*/false);
         if (committed_ >= cfg_.warmupInsts)
             return;
         ++cycle_;
@@ -455,9 +530,13 @@ Simulator::finishRun()
         ++cycle_;
         while (committed_ < total) {
             stepCycle(has_pf);
+            if (sampler_)
+                sampler_->tick(committed_, /*measuring=*/true);
             ++cycle_;
         }
     }
+    if (sampler_)
+        sampler_->finalSample(committed_, /*measuring=*/true);
 
     // Measurement phase = end-of-run snapshot minus the warmup one;
     // every scalar SimMetrics field derives from this single delta.
@@ -491,6 +570,7 @@ Simulator::finishRun()
         profile_->dataDramBytesPerKiloInst);
 
     metrics_.stats = std::move(delta);
+    flushObs();
     return metrics_;
 }
 

@@ -21,6 +21,7 @@
 
 #include "cache/reuse_distance.hh"
 #include "frontend/btb.hh"
+#include "obs/obs.hh"
 #include "frontend/cond_predictor.hh"
 #include "frontend/indirect_predictor.hh"
 #include "frontend/ras.hh"
@@ -44,6 +45,9 @@ class Simulator
 {
   public:
     explicit Simulator(const SimConfig &config);
+
+    /** Flushes any pending observability capture (see flushObs). */
+    ~Simulator();
 
     /**
      * Runs warmup + measurement and returns the measured metrics.
@@ -165,6 +169,14 @@ class Simulator
     /** Registers every component's counters (constructor helper). */
     void registerStats();
 
+    /**
+     * Hands the collected trace events and time-series rows to the
+     * process-global obs::Collector (once; no-op when observability
+     * is off). Called from finishRun and, as a fallback for runs torn
+     * down early, from the destructor.
+     */
+    void flushObs();
+
     SimConfig cfg_;
     const AppProfile *profile_;
     std::shared_ptr<const BuiltApp> app_;
@@ -193,6 +205,9 @@ class Simulator
     std::uint64_t feBlockSeq_ = 0;
     Cycle feResumeAt_ = 0;
     bool feResumeScheduled_ = false;
+    /** Cycle the current front-end block began (trace spans only;
+     *  deliberately not checkpointed — it never affects simulation). */
+    Cycle feBlockStart_ = 0;
 
     Cycle fetchStalledUntil_ = 0;
     Cycle commitBlockedUntil_ = 0;
@@ -213,6 +228,11 @@ class Simulator
     std::uint64_t rasMispredicts_ = 0;
     StatsRegistry registry_;
     StatsSnapshot warmupSnapshot_;
+
+    // Observability (null/absent unless requested via obs::config()).
+    std::unique_ptr<EventSink> obs_;
+    std::unique_ptr<IntervalSampler> sampler_;
+    bool obsFlushed_ = false;
 };
 
 } // namespace hp

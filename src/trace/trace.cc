@@ -64,7 +64,7 @@ static_assert(sizeof(Header) == 24, "trace header must be 24 bytes");
 
 } // namespace
 
-TraceWriter::TraceWriter(const std::string &path)
+TraceWriter::TraceWriter(const std::string &path) : path_(path)
 {
     file_ = std::fopen(path.c_str(), "wb");
     fatalIf(file_ == nullptr, "cannot open trace for writing: " + path);
@@ -81,10 +81,12 @@ void
 TraceWriter::writeHeader()
 {
     Header header{kTraceMagic, kTraceVersion, 0, count_};
-    std::fseek(file_, 0, SEEK_SET);
+    fatalIf(std::fseek(file_, 0, SEEK_SET) != 0,
+            "trace header seek failed: " + path_);
     std::size_t n = std::fwrite(&header, sizeof(header), 1, file_);
-    fatalIf(n != 1, "trace header write failed");
-    std::fseek(file_, 0, SEEK_END);
+    fatalIf(n != 1, "trace header write failed: " + path_);
+    fatalIf(std::fseek(file_, 0, SEEK_END) != 0,
+            "trace header seek failed: " + path_);
 }
 
 void
@@ -93,7 +95,9 @@ TraceWriter::write(const DynInst &inst)
     panicIf(closed_, "write to closed TraceWriter");
     PackedRecord rec = pack(inst);
     std::size_t n = std::fwrite(&rec, sizeof(rec), 1, file_);
-    fatalIf(n != 1, "trace record write failed");
+    // A short fwrite (n == 0 here: one whole record or nothing lands
+    // in the stdio buffer) is how a full disk first shows up.
+    fatalIf(n != 1, "trace record write failed (disk full?): " + path_);
     ++count_;
 }
 
@@ -103,7 +107,11 @@ TraceWriter::close()
     if (closed_)
         return;
     writeHeader();
-    std::fclose(file_);
+    // Buffered record bytes only hit the file here; check the flush
+    // explicitly so close() cannot silently drop the tail of a trace.
+    fatalIf(std::fflush(file_) != 0,
+            "trace flush failed (disk full?): " + path_);
+    fatalIf(std::fclose(file_) != 0, "trace close failed: " + path_);
     file_ = nullptr;
     closed_ = true;
 }

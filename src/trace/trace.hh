@@ -39,10 +39,14 @@ class TraceWriter
     TraceWriter(const TraceWriter &) = delete;
     TraceWriter &operator=(const TraceWriter &) = delete;
 
-    /** Appends one instruction. */
+    /** Appends one instruction; fatals (with the path) on a short or
+     *  failed write — e.g. a full disk — instead of silently producing
+     *  a truncated trace. */
     void write(const DynInst &inst);
 
-    /** Flushes buffers and finalizes the header. */
+    /** Flushes buffers, finalizes the header, and closes the file;
+     *  fatals (with the path) when the flush or close reports an I/O
+     *  error, so a trace that "wrote fine" is actually on disk. */
     void close();
 
     std::uint64_t written() const { return count_; }
@@ -51,6 +55,7 @@ class TraceWriter
     void writeHeader();
 
     std::FILE *file_ = nullptr;
+    std::string path_;
     std::uint64_t count_ = 0;
     bool closed_ = false;
 };

@@ -2,9 +2,43 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 namespace hp
 {
+
+namespace
+{
+
+LogLevel
+parseLogLevel()
+{
+    const char *v = std::getenv("HP_LOG_LEVEL");
+    if (v == nullptr || *v == '\0')
+        return LogLevel::Warn;
+    if (std::strcmp(v, "quiet") == 0 || std::strcmp(v, "0") == 0)
+        return LogLevel::Quiet;
+    if (std::strcmp(v, "warn") == 0 || std::strcmp(v, "1") == 0)
+        return LogLevel::Warn;
+    if (std::strcmp(v, "info") == 0 || std::strcmp(v, "2") == 0)
+        return LogLevel::Info;
+    if (std::strcmp(v, "debug") == 0 || std::strcmp(v, "3") == 0)
+        return LogLevel::Debug;
+    std::fprintf(stderr,
+                 "warn: unrecognized HP_LOG_LEVEL '%s' "
+                 "(want quiet|warn|info|debug or 0-3); using warn\n",
+                 v);
+    return LogLevel::Warn;
+}
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    static const LogLevel level = parseLogLevel();
+    return level;
+}
 
 void
 panic(const std::string &msg)
@@ -23,7 +57,22 @@ fatal(const std::string &msg)
 void
 warn(const std::string &msg)
 {
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    if (logEnabled(LogLevel::Warn))
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+logInfo(const std::string &msg)
+{
+    if (logEnabled(LogLevel::Info))
+        std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+void
+logDebug(const std::string &msg)
+{
+    if (logEnabled(LogLevel::Debug))
+        std::fprintf(stderr, "debug: %s\n", msg.c_str());
 }
 
 } // namespace hp
